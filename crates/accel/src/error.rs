@@ -1,0 +1,65 @@
+//! Error types for the acceleration techniques.
+
+use bemcap_linalg::LinalgError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from building tables or fitting rational models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccelError {
+    /// A table or fit was configured with an empty/inverted domain or zero
+    /// resolution.
+    BadConfig {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The rational fit's least-squares problem failed.
+    Fit(LinalgError),
+    /// A query fell outside the tabulated domain.
+    OutOfDomain {
+        /// The offending parameter value.
+        value: f64,
+        /// Index of the parameter dimension.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::BadConfig { detail } => write!(f, "bad configuration: {detail}"),
+            AccelError::Fit(e) => write!(f, "rational fit failed: {e}"),
+            AccelError::OutOfDomain { value, dim } => {
+                write!(f, "query value {value} outside tabulated domain (dimension {dim})")
+            }
+        }
+    }
+}
+
+impl Error for AccelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AccelError::Fit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for AccelError {
+    fn from(e: LinalgError) -> Self {
+        AccelError::Fit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = AccelError::Fit(LinalgError::NotFinite);
+        assert!(format!("{e}").contains("fit"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&AccelError::BadConfig { detail: "x".into() }).is_none());
+    }
+}

@@ -1,0 +1,273 @@
+//! Tabulation of expensive subroutines (§4.2.3).
+//!
+//! Most of the time evaluating the closed forms goes into `log` and `atan`
+//! calls. Following the paper (and [5]):
+//!
+//! * **log** exploits the IEEE-754 representation:
+//!   log₂(m·2^e) = e + log₂(m); only log₂ of the mantissa is tabulated,
+//!   indexed by its first 14 bits (16384 entries);
+//! * **atan** is tabulated with zero-order hold on [0, 1] after the
+//!   standard range reduction atan(x) = π/2 − atan(1/x) for |x| > 1.
+//!
+//! The module exposes both an [`Integrator2d`] implementation (Table 1,
+//! row 3) and plain `fn` primitives ([`fast_double_primitive`],
+//! [`fast_quad_primitive`]) that plug into
+//! `bemcap_quad::GalerkinEngine::with_primitives` for the accelerated
+//! production assembly (Table 2, "w/ accel").
+
+use std::sync::OnceLock;
+
+use crate::technique::{Integrator2d, RectQuery};
+
+/// Number of mantissa bits used to index the log table (the paper finds 14
+/// bits sufficient for <1 % error in the 4-D expression).
+pub const LOG_MANTISSA_BITS: u32 = 14;
+const LOG_TABLE_LEN: usize = 1 << LOG_MANTISSA_BITS;
+
+/// Entries of the atan table on [0, 1].
+pub const ATAN_TABLE_LEN: usize = 8192;
+
+fn log_table() -> &'static [f32] {
+    static TABLE: OnceLock<Vec<f32>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        (0..LOG_TABLE_LEN)
+            .map(|i| {
+                // Midpoint of the mantissa bucket for zero-order hold.
+                let m = 1.0 + (i as f64 + 0.5) / LOG_TABLE_LEN as f64;
+                m.log2() as f32
+            })
+            .collect()
+    })
+}
+
+fn atan_table() -> &'static [f32] {
+    static TABLE: OnceLock<Vec<f32>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        (0..ATAN_TABLE_LEN)
+            .map(|i| {
+                let x = (i as f64 + 0.5) / ATAN_TABLE_LEN as f64;
+                x.atan() as f32
+            })
+            .collect()
+    })
+}
+
+/// Fast natural logarithm by mantissa tabulation.
+///
+/// Accuracy ≈ 6·10⁻⁵ absolute — comfortably inside the 1 % budget of the
+/// integral expressions.
+///
+/// # Panics
+///
+/// Debug-asserts `x > 0` and finite (matching `f64::ln`'s domain where the
+/// integral guards call it).
+#[inline]
+pub fn fast_ln(x: f64) -> f64 {
+    debug_assert!(x > 0.0 && x.is_finite(), "fast_ln domain: {x}");
+    let bits = x.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    let idx = ((bits >> (52 - LOG_MANTISSA_BITS as u64)) & (LOG_TABLE_LEN as u64 - 1)) as usize;
+    (exp as f64 + log_table()[idx] as f64) * std::f64::consts::LN_2
+}
+
+/// Fast arctangent by zero-order-hold tabulation with range reduction.
+#[inline]
+pub fn fast_atan(x: f64) -> f64 {
+    let ax = x.abs();
+    let v = if ax <= 1.0 {
+        let idx = ((ax * ATAN_TABLE_LEN as f64) as usize).min(ATAN_TABLE_LEN - 1);
+        atan_table()[idx] as f64
+    } else {
+        let inv = 1.0 / ax;
+        let idx = ((inv * ATAN_TABLE_LEN as f64) as usize).min(ATAN_TABLE_LEN - 1);
+        std::f64::consts::FRAC_PI_2 - atan_table()[idx] as f64
+    };
+    if x < 0.0 {
+        -v
+    } else {
+        v
+    }
+}
+
+/// Stable ln(u + √(u²+p²)) using [`fast_ln`].
+#[inline]
+fn fast_ln_u_plus_r(u: f64, p2: f64) -> f64 {
+    let r = (u * u + p2).sqrt();
+    if u >= 0.0 {
+        fast_ln(u + r)
+    } else {
+        fast_ln(p2 / (r - u))
+    }
+}
+
+/// Drop-in replacement for `bemcap_quad::analytic::double_primitive` using
+/// the tabulated subroutines.
+#[inline]
+pub fn fast_double_primitive(u: f64, v: f64, z: f64) -> f64 {
+    let r = (u * u + v * v + z * z).sqrt();
+    let mut acc = 0.0;
+    if u != 0.0 {
+        acc += u * fast_ln_u_plus_r(v, u * u + z * z);
+    }
+    if v != 0.0 {
+        acc += v * fast_ln_u_plus_r(u, v * v + z * z);
+    }
+    if z != 0.0 && u != 0.0 && v != 0.0 {
+        acc -= z * fast_atan(u * v / (z * r));
+    }
+    acc
+}
+
+/// Drop-in replacement for `bemcap_quad::analytic::quad_primitive` using
+/// the tabulated subroutines.
+#[inline]
+pub fn fast_quad_primitive(u: f64, v: f64, z: f64) -> f64 {
+    let u2 = u * u;
+    let v2 = v * v;
+    let z2 = z * z;
+    let r2 = u2 + v2 + z2;
+    let r = r2.sqrt();
+    let mut acc = -u * r2 / 4.0 - u * v2 / 2.0 + z2 * r / 2.0 - r2 * r / 6.0;
+    let cu = u * (v2 - z2) / 2.0;
+    if cu != 0.0 {
+        acc += cu * fast_ln_u_plus_r(u, v2 + z2);
+    }
+    let cv = v * (u2 - z2) / 2.0;
+    if cv != 0.0 {
+        acc += cv * fast_ln_u_plus_r(v, u2 + z2);
+    }
+    if u != 0.0 && v != 0.0 && z != 0.0 {
+        acc -= u * v * z * (fast_atan(u * v / (z * r)) - fast_atan(v / z));
+    }
+    acc
+}
+
+/// Drop-in replacement for `bemcap_quad::analytic::triple_primitive`
+/// using the tabulated subroutines.
+#[inline]
+pub fn fast_triple_primitive(u: f64, v: f64, z: f64) -> f64 {
+    let v2 = v * v;
+    let z2 = z * z;
+    let r2 = u * u + v2 + z2;
+    let r = r2.sqrt();
+    let mut acc = -u * r / 2.0 - r2 / 4.0;
+    if u != 0.0 && v != 0.0 {
+        acc += u * v * fast_ln_u_plus_r(v, u * u + z2);
+    }
+    let cu = (v2 - z2) / 2.0;
+    if cu != 0.0 {
+        acc += cu * fast_ln_u_plus_r(u, v2 + z2);
+    }
+    if z != 0.0 && u != 0.0 && v != 0.0 {
+        acc -= z * v * fast_atan(u * v / (z * r));
+    }
+    acc
+}
+
+/// Total bytes held by the two subroutine tables.
+pub fn table_memory_bytes() -> usize {
+    (LOG_TABLE_LEN + ATAN_TABLE_LEN) * std::mem::size_of::<f32>()
+}
+
+/// Table 1, row 3: the analytic expression with tabulated subroutines.
+#[derive(Debug, Clone, Copy)]
+pub struct FastMathIntegrator {
+    _priv: (),
+}
+
+impl FastMathIntegrator {
+    /// Creates the integrator (forces table initialization so the first
+    /// timed evaluation is not penalized).
+    pub fn new() -> FastMathIntegrator {
+        let _ = log_table();
+        let _ = atan_table();
+        FastMathIntegrator { _priv: () }
+    }
+}
+
+impl Default for FastMathIntegrator {
+    fn default() -> Self {
+        FastMathIntegrator::new()
+    }
+}
+
+impl Integrator2d for FastMathIntegrator {
+    fn eval(&self, q: &RectQuery) -> f64 {
+        let [ulo, uhi, vlo, vhi, z] = q.canonical();
+        fast_double_primitive(uhi, vhi, z) - fast_double_primitive(uhi, vlo, z)
+            - fast_double_primitive(ulo, vhi, z)
+            + fast_double_primitive(ulo, vlo, z)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        table_memory_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "Tabulation of exp. routines"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technique::{sample_queries, AnalyticIntegrator};
+
+    #[test]
+    fn fast_ln_accuracy() {
+        for &x in &[1e-9, 0.001, 0.5, 1.0, 1.5, 2.0, 3.14159, 1e3, 1e9] {
+            let err = (fast_ln(x) - x.ln()).abs();
+            assert!(err < 1e-4, "x={x}: err={err}");
+        }
+    }
+
+    #[test]
+    fn fast_atan_accuracy_and_oddness() {
+        for i in 0..1000 {
+            let x = -50.0 + i as f64 * 0.1;
+            let err = (fast_atan(x) - x.atan()).abs();
+            assert!(err < 2e-4, "x={x}: err={err}");
+        }
+        assert_eq!(fast_atan(-2.0), -fast_atan(2.0));
+    }
+
+    #[test]
+    fn integrator_within_one_percent() {
+        let fast = FastMathIntegrator::new();
+        let exact = AnalyticIntegrator;
+        for q in sample_queries(500, 7) {
+            let e = exact.eval(&q);
+            let f = fast.eval(&q);
+            assert!(
+                (f - e).abs() <= 0.01 * e.abs().max(1e-12),
+                "query {q:?}: exact {e}, fast {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn primitives_close_to_exact() {
+        use bemcap_quad::analytic;
+        for &(u, v, z) in
+            &[(0.5, 0.7, 0.3), (-1.0, 2.0, 0.4), (3.0, -2.0, 1.5), (0.0, 1.0, 0.0)]
+        {
+            let a = analytic::double_primitive(u, v, z);
+            let b = fast_double_primitive(u, v, z);
+            assert!((a - b).abs() < 1e-3 * a.abs().max(1.0), "dp({u},{v},{z})");
+            let a4 = analytic::quad_primitive(u, v, z);
+            let b4 = fast_quad_primitive(u, v, z);
+            assert!((a4 - b4).abs() < 1e-3 * a4.abs().max(1.0), "qp({u},{v},{z})");
+            let a3 = analytic::triple_primitive(u, v, z);
+            let b3 = fast_triple_primitive(u, v, z);
+            assert!((a3 - b3).abs() < 1e-3 * a3.abs().max(1.0), "tp({u},{v},{z})");
+        }
+    }
+
+    #[test]
+    fn memory_accounting() {
+        assert_eq!(
+            FastMathIntegrator::new().memory_bytes(),
+            (16384 + 8192) * 4
+        );
+    }
+}

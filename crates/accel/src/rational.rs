@@ -1,0 +1,296 @@
+//! Rational fitting (§4.2.4).
+//!
+//! The definite integral is approximated by a multivariable rational
+//! function f(w) = f_N(w)/f_D(w) of degree (n, m) in the canonical
+//! parameters w ∈ R⁵. Rational forms suit Green's functions that decay
+//! with distance, and avoid the cancellation of the indefinite-integral
+//! substitution (equation (9)).
+//!
+//! Training solves the linearized problem (12)
+//!
+//! ```text
+//! minimize  Σ_i | f̃(w_i)·f_D(w_i) − f_N(w_i) |
+//! subject to Σ β_D = 1
+//! ```
+//!
+//! with the constraint eliminated by substitution and the residual
+//! minimized in the 2-norm via Householder QR — our substitute for the
+//! STINS SDP machinery [2] (DESIGN.md §3): the objective is linear in the
+//! coefficients either way.
+
+use crate::error::AccelError;
+use crate::technique::{AnalyticIntegrator, Integrator2d, RectQuery};
+use bemcap_linalg::{least_squares, Matrix};
+
+/// All multi-indices α ∈ ℕ^k with |α| ≤ n, in graded lexicographic order.
+pub fn multi_indices(k: usize, n: u32) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    let mut current = vec![0u32; k];
+    fn rec(out: &mut Vec<Vec<u32>>, current: &mut Vec<u32>, dim: usize, remaining: u32) {
+        if dim == current.len() {
+            out.push(current.clone());
+            return;
+        }
+        for e in 0..=remaining {
+            current[dim] = e;
+            rec(out, current, dim + 1, remaining - e);
+        }
+        current[dim] = 0;
+    }
+    rec(&mut out, &mut current, 0, n);
+    out
+}
+
+/// A trained rational approximation of the 2-D integral.
+#[derive(Debug, Clone)]
+pub struct RationalFit {
+    /// Input dimensionality (5 canonical parameters).
+    k: usize,
+    /// Flattened exponent arrays (stride k) for the allocation-free,
+    /// cache-friendly evaluation hot path.
+    num_exps_flat: Vec<u8>,
+    den_exps_flat: Vec<u8>,
+    beta_num: Vec<f64>,
+    beta_den: Vec<f64>,
+    /// Per-dimension affine normalization: w_norm = (w − center) * scale.
+    center: Vec<f64>,
+    scale: Vec<f64>,
+}
+
+impl RationalFit {
+    /// Trains a degree-(n, m) fit from samples `(w_i, f̃(w_i))`.
+    ///
+    /// # Errors
+    ///
+    /// * [`AccelError::BadConfig`] for empty sample sets or inconsistent
+    ///   input dimensions;
+    /// * [`AccelError::Fit`] if the least-squares problem is rank
+    ///   deficient.
+    pub fn train(samples: &[(Vec<f64>, f64)], n: u32, m: u32) -> Result<RationalFit, AccelError> {
+        let k = samples
+            .first()
+            .map(|(w, _)| w.len())
+            .ok_or_else(|| AccelError::BadConfig { detail: "no training samples".into() })?;
+        if samples.iter().any(|(w, _)| w.len() != k) {
+            return Err(AccelError::BadConfig { detail: "inconsistent sample dimensions".into() });
+        }
+        // Normalize inputs to [-1, 1] for conditioning.
+        let mut lo = vec![f64::INFINITY; k];
+        let mut hi = vec![f64::NEG_INFINITY; k];
+        for (w, _) in samples {
+            for d in 0..k {
+                lo[d] = lo[d].min(w[d]);
+                hi[d] = hi[d].max(w[d]);
+            }
+        }
+        let center: Vec<f64> = (0..k).map(|d| 0.5 * (lo[d] + hi[d])).collect();
+        let scale: Vec<f64> = (0..k)
+            .map(|d| if hi[d] > lo[d] { 2.0 / (hi[d] - lo[d]) } else { 1.0 })
+            .collect();
+        let num_exps = multi_indices(k, n);
+        let den_exps = multi_indices(k, m);
+        let n_num = num_exps.len();
+        let n_den = den_exps.len() - 1; // β_{D,0} eliminated by the constraint
+        let rows = samples.len();
+        if rows < n_num + n_den {
+            return Err(AccelError::BadConfig {
+                detail: format!("{rows} samples for {} unknowns", n_num + n_den),
+            });
+        }
+        let mut a = Matrix::zeros(rows, n_num + n_den);
+        let mut b = vec![0.0; rows];
+        for (i, (w, f)) in samples.iter().enumerate() {
+            let wn: Vec<f64> = (0..k).map(|d| (w[d] - center[d]) * scale[d]).collect();
+            b[i] = -f;
+            for (j, e) in num_exps.iter().enumerate() {
+                a.set(i, j, -monomial(&wn, e));
+            }
+            for (j, e) in den_exps.iter().skip(1).enumerate() {
+                a.set(i, n_num + j, f * (monomial(&wn, e) - 1.0));
+            }
+        }
+        let x = least_squares(&a, &b)?;
+        let beta_num = x[..n_num].to_vec();
+        let mut beta_den = Vec::with_capacity(n_den + 1);
+        beta_den.push(1.0 - x[n_num..].iter().sum::<f64>());
+        beta_den.extend_from_slice(&x[n_num..]);
+        let flatten = |exps: &[Vec<u32>]| -> Vec<u8> {
+            exps.iter().flat_map(|e| e.iter().map(|&x| x as u8)).collect()
+        };
+        let num_exps_flat = flatten(&num_exps);
+        let den_exps_flat = flatten(&den_exps);
+        Ok(RationalFit { k, num_exps_flat, den_exps_flat, beta_num, beta_den, center, scale })
+    }
+
+    /// Trains the default Table 1 model on the standard query domain,
+    /// using the exact analytic integrator as the teacher.
+    ///
+    /// Degree (4, 2): a rich numerator with a low-degree denominator —
+    /// high denominator degrees invite spurious poles inside the training
+    /// box (the error-control caveat of §4.2.4).
+    pub fn table1_default() -> Result<RationalFit, AccelError> {
+        let teacher = AnalyticIntegrator;
+        let samples: Vec<(Vec<f64>, f64)> = crate::technique::sample_queries(8000, 101)
+            .into_iter()
+            .map(|q| (q.canonical().to_vec(), teacher.eval(&q)))
+            .collect();
+        RationalFit::train(&samples, 4, 2)
+    }
+
+    /// Evaluates the rational model at a canonical parameter vector.
+    ///
+    /// Allocation-free on the hot path (≤ 8 input dimensions, degree ≤ 7):
+    /// per-dimension power tables are built once per call on the stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w.len()` differs from the training dimensionality, or
+    /// exceeds the 8-dimension / degree-7 stack limits.
+    pub fn eval_params(&self, w: &[f64]) -> f64 {
+        assert_eq!(w.len(), self.k, "parameter dimensionality");
+        assert!(self.k <= 8, "eval_params supports up to 8 dimensions");
+        // pows[d][e] = wn[d]^e.
+        let mut pows = [[1.0f64; 8]; 8];
+        for d in 0..self.k {
+            let x = (w[d] - self.center[d]) * self.scale[d];
+            let mut p = 1.0;
+            for e in 1..8 {
+                p *= x;
+                pows[d][e] = p;
+            }
+        }
+        let k = self.k;
+        let poly = |coeffs: &[f64], exps_flat: &[u8]| -> f64 {
+            let mut acc = 0.0;
+            for (t, c) in coeffs.iter().enumerate() {
+                let mut m = *c;
+                let e = &exps_flat[t * k..(t + 1) * k];
+                for (d, &ed) in e.iter().enumerate() {
+                    if ed != 0 {
+                        m *= pows[d][ed as usize];
+                    }
+                }
+                acc += m;
+            }
+            acc
+        };
+        poly(&self.beta_num, &self.num_exps_flat) / poly(&self.beta_den, &self.den_exps_flat)
+    }
+
+    /// Number of coefficients (numerator + denominator).
+    pub fn coefficient_count(&self) -> usize {
+        self.beta_num.len() + self.beta_den.len()
+    }
+}
+
+#[inline]
+fn monomial(w: &[f64], exps: &[u32]) -> f64 {
+    let mut p = 1.0;
+    for (x, &e) in w.iter().zip(exps) {
+        for _ in 0..e {
+            p *= x;
+        }
+    }
+    p
+}
+
+impl Integrator2d for RationalFit {
+    fn eval(&self, q: &RectQuery) -> f64 {
+        self.eval_params(&q.canonical())
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // "≈ 0" in the paper: only the coefficient vectors.
+        self.coefficient_count() * std::mem::size_of::<f64>()
+    }
+
+    fn name(&self) -> &'static str {
+        "Rational fitting"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technique::sample_queries;
+
+    #[test]
+    fn multi_index_counts() {
+        // |{α ∈ ℕ^k : |α| ≤ n}| = C(n+k, k)
+        assert_eq!(multi_indices(2, 2).len(), 6);
+        assert_eq!(multi_indices(3, 2).len(), 10);
+        assert_eq!(multi_indices(5, 3).len(), 56);
+        // Always includes the constant term first.
+        assert_eq!(multi_indices(3, 2)[0], vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn monomial_eval() {
+        assert_eq!(monomial(&[2.0, 3.0], &[2, 1]), 12.0);
+        assert_eq!(monomial(&[2.0, 3.0], &[0, 0]), 1.0);
+    }
+
+    #[test]
+    fn recovers_exact_rational_function() {
+        // Teacher IS a rational function of matching degree: fit must be
+        // near machine-exact.
+        let teacher = |w: &[f64]| (1.0 + 2.0 * w[0] + w[1]) / (1.0 + 0.5 * w[0] * w[0]);
+        let mut samples = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                let w = vec![-1.0 + i as f64 / 9.5, -1.0 + j as f64 / 9.5];
+                let f = teacher(&w);
+                samples.push((w.clone(), f));
+            }
+        }
+        let fit = RationalFit::train(&samples, 2, 2).unwrap();
+        for (w, f) in &samples {
+            let g = fit.eval_params(w);
+            assert!((g - f).abs() < 1e-8 * f.abs().max(1.0), "{g} vs {f}");
+        }
+    }
+
+    #[test]
+    fn denominator_normalized() {
+        let samples: Vec<(Vec<f64>, f64)> =
+            (0..50).map(|i| (vec![i as f64 / 25.0 - 1.0], 1.0 + i as f64)).collect();
+        let fit = RationalFit::train(&samples, 1, 1).unwrap();
+        let s: f64 = fit.beta_den.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12, "Σβ_D = {s}");
+    }
+
+    #[test]
+    fn table1_model_accuracy() {
+        let fit = RationalFit::table1_default().unwrap();
+        let exact = AnalyticIntegrator;
+        let mut worst: f64 = 0.0;
+        let mut mean = 0.0;
+        let queries = sample_queries(400, 202); // held-out seed
+        for q in &queries {
+            let e = exact.eval(q);
+            let v = fit.eval(q);
+            let rel = (v - e).abs() / e.abs().max(0.1);
+            worst = worst.max(rel);
+            mean += rel;
+        }
+        mean /= queries.len() as f64;
+        assert!(mean < 0.05, "mean relative error {mean}");
+        assert!(worst < 0.5, "worst relative error {worst}");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(RationalFit::train(&[], 1, 1).is_err());
+        let bad = vec![(vec![0.0], 1.0), (vec![0.0, 1.0], 2.0)];
+        assert!(RationalFit::train(&bad, 1, 1).is_err());
+        // Too few samples for the unknown count.
+        let few = vec![(vec![0.0, 0.0], 1.0), (vec![1.0, 1.0], 2.0)];
+        assert!(RationalFit::train(&few, 3, 3).is_err());
+    }
+
+    #[test]
+    fn memory_is_negligible() {
+        let fit = RationalFit::table1_default().unwrap();
+        assert!(fit.memory_bytes() < 10_000); // "≈ 0" vs the MB-scale tables
+    }
+}

@@ -1,0 +1,174 @@
+//! Tabulation of the indefinite integral (§4.2.2).
+//!
+//! Instead of six (five) parameters, tabulate the *indefinite* double
+//! primitive F(u, v, z) on a 3-D grid and recover the definite integral by
+//! the 4-corner substitution of equation (9). The table is far smaller per
+//! resolution, but — exactly as the paper warns — the corner substitution
+//! subtracts nearly equal numbers, so several significant digits cancel
+//! and the effective accuracy per byte is worse than direct tabulation.
+
+use crate::error::AccelError;
+use crate::technique::{Integrator2d, RectQuery};
+use bemcap_quad::analytic;
+
+/// Trilinear-interpolated table of the indefinite integral F(u, v, z).
+#[derive(Debug, Clone)]
+pub struct IndefiniteTable {
+    lo: [f64; 3],
+    hi: [f64; 3],
+    n: [usize; 3],
+    inv_step: [f64; 3],
+    values: Vec<f32>,
+}
+
+impl IndefiniteTable {
+    /// Builds the table on `[lo, hi]` with `n` points per axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::BadConfig`] for axes with fewer than two
+    /// points or empty ranges.
+    pub fn build(lo: [f64; 3], hi: [f64; 3], n: [usize; 3]) -> Result<IndefiniteTable, AccelError> {
+        for d in 0..3 {
+            if n[d] < 2 || !(hi[d] > lo[d]) {
+                return Err(AccelError::BadConfig {
+                    detail: format!("axis {d}: n={} range=[{},{}]", n[d], lo[d], hi[d]),
+                });
+            }
+        }
+        let mut values = vec![0.0f32; n[0] * n[1] * n[2]];
+        for i in 0..n[0] {
+            let u = lo[0] + (hi[0] - lo[0]) * i as f64 / (n[0] - 1) as f64;
+            for j in 0..n[1] {
+                let v = lo[1] + (hi[1] - lo[1]) * j as f64 / (n[1] - 1) as f64;
+                for k in 0..n[2] {
+                    let z = lo[2] + (hi[2] - lo[2]) * k as f64 / (n[2] - 1) as f64;
+                    values[(i * n[1] + j) * n[2] + k] =
+                        analytic::double_primitive(u, v, z) as f32;
+                }
+            }
+        }
+        let mut inv_step = [0.0; 3];
+        for d in 0..3 {
+            inv_step[d] = (n[d] as f64 - 1.0) / (hi[d] - lo[d]);
+        }
+        Ok(IndefiniteTable { lo, hi, n, inv_step, values })
+    }
+
+    /// Default Table 1 configuration (~2 MB, dense to fight the corner
+    /// cancellation).
+    pub fn table1_default() -> Result<IndefiniteTable, AccelError> {
+        IndefiniteTable::build([-3.0, -3.0, 0.1], [3.0, 3.0, 1.05], [160, 160, 20])
+    }
+
+    /// Trilinear lookup of F(u, v, z), clamped to the domain.
+    pub fn primitive(&self, u: f64, v: f64, z: f64) -> f64 {
+        let p = [u, v, z];
+        let mut base = [0usize; 3];
+        let mut frac = [0.0; 3];
+        for d in 0..3 {
+            let t = ((p[d] - self.lo[d]) * self.inv_step[d]).clamp(0.0, (self.n[d] - 1) as f64);
+            let i = (t as usize).min(self.n[d] - 2);
+            base[d] = i;
+            frac[d] = t - i as f64;
+        }
+        let mut acc = 0.0;
+        for c in 0..8usize {
+            let bi = c & 1;
+            let bj = (c >> 1) & 1;
+            let bk = (c >> 2) & 1;
+            let w = (if bi == 1 { frac[0] } else { 1.0 - frac[0] })
+                * (if bj == 1 { frac[1] } else { 1.0 - frac[1] })
+                * (if bk == 1 { frac[2] } else { 1.0 - frac[2] });
+            if w != 0.0 {
+                let flat =
+                    ((base[0] + bi) * self.n[1] + (base[1] + bj)) * self.n[2] + (base[2] + bk);
+                acc += w * self.values[flat] as f64;
+            }
+        }
+        acc
+    }
+
+    /// `true` when the canonical parameter vector lies inside the table.
+    pub fn contains(&self, p: [f64; 5]) -> bool {
+        let z_ok = p[4] >= self.lo[2] && p[4] <= self.hi[2];
+        let uv_ok = p[..4].iter().enumerate().all(|(i, &x)| {
+            let d = if i < 2 { 0 } else { 1 };
+            x >= self.lo[d] && x <= self.hi[d]
+        });
+        z_ok && uv_ok
+    }
+}
+
+impl Integrator2d for IndefiniteTable {
+    fn eval(&self, q: &RectQuery) -> f64 {
+        let [ulo, uhi, vlo, vhi, z] = q.canonical();
+        // Equation (9): 4-corner substitution of the tabulated primitive.
+        self.primitive(uhi, vhi, z) - self.primitive(uhi, vlo, z) - self.primitive(ulo, vhi, z)
+            + self.primitive(ulo, vlo, z)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f32>()
+    }
+
+    fn name(&self) -> &'static str {
+        "Tabulation of indef. int."
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technique::{sample_queries, AnalyticIntegrator};
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(IndefiniteTable::build([0.0; 3], [1.0; 3], [1, 2, 2]).is_err());
+        assert!(IndefiniteTable::build([0.0; 3], [0.0; 3], [4; 3]).is_err());
+    }
+
+    #[test]
+    fn primitive_interpolation_accuracy() {
+        let t = IndefiniteTable::table1_default().unwrap();
+        for &(u, v, z) in &[(0.33, -1.2, 0.5), (2.0, 2.0, 0.9), (-0.7, 0.4, 0.2)] {
+            let e = analytic::double_primitive(u, v, z);
+            let g = t.primitive(u, v, z);
+            assert!((g - e).abs() < 5e-3 * e.abs().max(0.5), "({u},{v},{z}): {g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn definite_integral_with_cancellation_penalty() {
+        // The corner substitution loses digits: accuracy markedly worse
+        // than direct tabulation at comparable memory — the paper's point.
+        let t = IndefiniteTable::table1_default().unwrap();
+        let exact = AnalyticIntegrator;
+        let mut worst: f64 = 0.0;
+        for q in sample_queries(300, 3) {
+            if !t.contains(q.canonical()) {
+                continue;
+            }
+            let e = exact.eval(&q);
+            let v = t.eval(&q);
+            worst = worst.max((v - e).abs() / e.abs().max(0.1));
+        }
+        assert!(worst < 0.15, "worst relative error {worst}");
+        assert!(worst > 1e-5, "cancellation penalty should be visible");
+    }
+
+    #[test]
+    fn memory_in_expected_range() {
+        let t = IndefiniteTable::table1_default().unwrap();
+        // Order of the paper's 2.3 MB.
+        assert!(t.memory_bytes() > 1_000_000 && t.memory_bytes() < 4_000_000);
+    }
+
+    #[test]
+    fn contains_checks_domain() {
+        let t = IndefiniteTable::build([-1.0, -1.0, 0.0], [1.0, 1.0, 1.0], [4; 3]).unwrap();
+        assert!(t.contains([0.0, 0.5, -0.5, 0.5, 0.5]));
+        assert!(!t.contains([2.0, 0.5, -0.5, 0.5, 0.5]));
+        assert!(!t.contains([0.0, 0.5, -0.5, 0.5, 2.0]));
+    }
+}

@@ -1,0 +1,124 @@
+//! Basis functions and basis sets.
+
+use crate::template::Template;
+
+/// One instantiable basis function ψ: a set of templates on a single
+/// conductor (a face basis function has one flat template; induced basis
+/// functions may carry several, like ψ₃ in Fig. 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasisFunction {
+    /// The conductor this basis function lives on.
+    pub conductor: usize,
+    /// The member templates ψ_{i′, ī}.
+    pub templates: Vec<Template>,
+}
+
+impl BasisFunction {
+    /// Creates a basis function from its templates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `templates` is empty.
+    pub fn new(conductor: usize, templates: Vec<Template>) -> BasisFunction {
+        assert!(!templates.is_empty(), "basis function needs at least one template");
+        BasisFunction { conductor, templates }
+    }
+}
+
+/// The full basis: the N basis functions of equation (3), with their
+/// flattened M-template view for Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BasisSet {
+    functions: Vec<BasisFunction>,
+}
+
+impl BasisSet {
+    /// Creates a basis set.
+    pub fn new(functions: Vec<BasisFunction>) -> BasisSet {
+        BasisSet { functions }
+    }
+
+    /// The basis functions.
+    pub fn functions(&self) -> &[BasisFunction] {
+        &self.functions
+    }
+
+    /// N — the system dimension.
+    pub fn basis_count(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// M — the number of templates across all basis functions
+    /// (1.2–3 × N in practice, per §3).
+    pub fn template_count(&self) -> usize {
+        self.functions.iter().map(|f| f.templates.len()).sum()
+    }
+
+    /// The conductor of basis function `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn conductor_of(&self, i: usize) -> usize {
+        self.functions[i].conductor
+    }
+
+    /// Flattens to the template list T₁…T_M with the label array l
+    /// (template index → owning basis index), in the order-set convention
+    /// of §3.
+    pub fn flatten(&self) -> (Vec<Template>, Vec<usize>) {
+        let mut templates = Vec::with_capacity(self.template_count());
+        let mut labels = Vec::with_capacity(self.template_count());
+        for (bi, f) in self.functions.iter().enumerate() {
+            for t in &f.templates {
+                templates.push(*t);
+                labels.push(bi);
+            }
+        }
+        (templates, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bemcap_geom::{Axis, Panel};
+
+    fn tpl(w: f64) -> Template {
+        Template::flat(Panel::new(Axis::Z, w, (0.0, 1.0), (0.0, 1.0)).unwrap())
+    }
+
+    #[test]
+    fn counts() {
+        let set = BasisSet::new(vec![
+            BasisFunction::new(0, vec![tpl(0.0)]),
+            BasisFunction::new(0, vec![tpl(1.0)]),
+            BasisFunction::new(1, vec![tpl(2.0), tpl(3.0)]),
+            BasisFunction::new(1, vec![tpl(4.0)]),
+        ]);
+        assert_eq!(set.basis_count(), 4);
+        assert_eq!(set.template_count(), 5);
+        assert_eq!(set.conductor_of(2), 1);
+    }
+
+    #[test]
+    fn flatten_order_and_labels() {
+        // The Fig. 3 example: ψ3 has two templates; mapping
+        // {ψ1,1 ψ2,1 ψ3,1 ψ3,2 ψ4,1} = {T1..T5}.
+        let set = BasisSet::new(vec![
+            BasisFunction::new(0, vec![tpl(0.0)]),
+            BasisFunction::new(0, vec![tpl(1.0)]),
+            BasisFunction::new(1, vec![tpl(2.0), tpl(3.0)]),
+            BasisFunction::new(1, vec![tpl(4.0)]),
+        ]);
+        let (templates, labels) = set.flatten();
+        assert_eq!(templates.len(), 5);
+        assert_eq!(labels, vec![0, 1, 2, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_basis_function_panics() {
+        let _ = BasisFunction::new(0, vec![]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Error types for basis construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors while instantiating basis functions from a geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BasisError {
+    /// The geometry has no conductors.
+    EmptyGeometry,
+    /// A generated template support degenerated (zero area after clipping).
+    DegenerateTemplate {
+        /// Description of the offending template.
+        detail: String,
+    },
+    /// The calibration solve failed (singular system or too-coarse mesh).
+    Calibration {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for BasisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BasisError::EmptyGeometry => write!(f, "geometry has no conductors"),
+            BasisError::DegenerateTemplate { detail } => {
+                write!(f, "degenerate template support: {detail}")
+            }
+            BasisError::Calibration { detail } => write!(f, "calibration failed: {detail}"),
+        }
+    }
+}
+
+impl Error for BasisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", BasisError::EmptyGeometry).is_empty());
+        let e = BasisError::DegenerateTemplate { detail: "zero width".into() };
+        assert!(format!("{e}").contains("zero width"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Templates: the atomic shapes of instantiable basis functions.
+
+use bemcap_geom::Panel;
+use bemcap_quad::galerkin::{GalerkinEngine, PanelShape, ShapeDir};
+
+use crate::arch::ArchShape;
+
+/// The shape carried by a template on its support panel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TemplateKind {
+    /// Constant 1 (face basis functions and flat templates).
+    Flat,
+    /// An arch profile varying along `dir`.
+    Arch {
+        /// The in-plane direction of variation.
+        dir: ShapeDir,
+        /// The bump profile.
+        shape: ArchShape,
+    },
+}
+
+/// A template: a support rectangle plus a shape — the `T_i` of
+/// equation (5). Templates from different basis functions may overlap;
+/// that is a deliberate feature of instantiable bases (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Template {
+    /// The support rectangle.
+    pub panel: Panel,
+    /// The shape on the support.
+    pub kind: TemplateKind,
+}
+
+impl Template {
+    /// A flat template on `panel`.
+    pub fn flat(panel: Panel) -> Template {
+        Template { panel, kind: TemplateKind::Flat }
+    }
+
+    /// An arch template on `panel` varying along `dir`.
+    pub fn arch(panel: Panel, dir: ShapeDir, shape: ArchShape) -> Template {
+        Template { panel, kind: TemplateKind::Arch { dir, shape } }
+    }
+
+    /// Runs `f` with this template's weight expressed as a
+    /// [`PanelShape`] borrowing a stack-local closure.
+    pub fn with_shape<R>(&self, f: impl FnOnce(PanelShape<'_>) -> R) -> R {
+        match &self.kind {
+            TemplateKind::Flat => f(PanelShape::Flat),
+            TemplateKind::Arch { dir, shape } => {
+                let arch = *shape;
+                let closure = move |u: f64| arch.eval(u);
+                f(PanelShape::Shaped { dir: *dir, shape: &closure })
+            }
+        }
+    }
+}
+
+/// The Galerkin integral of a template pair (equation (5) entry, raw
+/// kernel — the caller divides by 4πε).
+pub fn pair_integral(eng: &GalerkinEngine, a: &Template, b: &Template) -> f64 {
+    a.with_shape(|sa| b.with_shape(|sb| eng.panel_pair(&a.panel, sa, &b.panel, sb)))
+}
+
+/// ∫ template over its support — the template's contribution to the
+/// right-hand side Φ (equation (2) with φ ≡ 1 on the conductor).
+pub fn template_moment(eng: &GalerkinEngine, t: &Template) -> f64 {
+    t.with_shape(|s| eng.weighted_area(&t.panel, s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bemcap_geom::Axis;
+    use bemcap_quad::analytic;
+
+    fn panel(w: f64) -> Panel {
+        Panel::new(Axis::Z, w, (0.0, 1.0), (0.0, 1.0)).unwrap()
+    }
+
+    #[test]
+    fn flat_pair_matches_closed_form() {
+        let eng = GalerkinEngine::default();
+        let a = Template::flat(panel(0.0));
+        let b = Template::flat(panel(1.5));
+        let got = pair_integral(&eng, &a, &b);
+        let expect =
+            analytic::galerkin_parallel((0.0, 1.0), (0.0, 1.0), (0.0, 1.0), (0.0, 1.0), 1.5);
+        assert!((got - expect).abs() < 1e-13 * expect);
+    }
+
+    #[test]
+    fn flat_moment_is_area() {
+        let eng = GalerkinEngine::default();
+        let t = Template::flat(panel(0.0));
+        assert!((template_moment(&eng, &t) - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn arch_moment_matches_gaussian_integral() {
+        let eng = GalerkinEngine::default();
+        // Wide support so the full Gaussian mass is captured.
+        let p = Panel::new(Axis::Z, 0.0, (-5.0, 5.0), (0.0, 2.0)).unwrap();
+        let shape = ArchShape { center: 0.0, width: 0.5 };
+        let t = Template::arch(p, ShapeDir::U, shape);
+        let m = template_moment(&eng, &t);
+        // The default shape_order quadrature is coarse for a narrow bump on
+        // a wide panel; expect agreement to a few percent.
+        let expect = shape.full_integral() * 2.0;
+        assert!((m - expect).abs() < 0.1 * expect, "{m} vs {expect}");
+    }
+
+    #[test]
+    fn pair_integral_symmetric() {
+        let eng = GalerkinEngine::default();
+        let a = Template::flat(panel(0.0));
+        let shape = ArchShape { center: 0.5, width: 0.3 };
+        let b = Template::arch(panel(0.7), ShapeDir::U, shape);
+        let ab = pair_integral(&eng, &a, &b);
+        let ba = pair_integral(&eng, &b, &a);
+        assert!((ab - ba).abs() < 1e-9 * ab.abs(), "{ab} vs {ba}");
+        assert!(ab > 0.0);
+    }
+
+    #[test]
+    fn arch_self_term_positive_finite() {
+        let eng = GalerkinEngine::default();
+        let shape = ArchShape { center: 0.5, width: 0.2 };
+        let t = Template::arch(panel(0.0), ShapeDir::U, shape);
+        let v = pair_integral(&eng, &t, &t);
+        assert!(v.is_finite() && v > 0.0, "self term {v}");
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the from-scratch FFT substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bemcap_pfft::fft::{fft3_inplace, fft_inplace, Complex};
+
+fn bench_fft_1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_1d");
+    for &n in &[256usize, 1024, 4096] {
+        let data: Vec<Complex> =
+            (0..n).map(|i| Complex::new((i as f64 * 0.1).sin(), 0.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut d = data.clone();
+                fft_inplace(&mut d);
+                std::hint::black_box(d[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft_3d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_3d");
+    group.sample_size(20);
+    for &n in &[16usize, 32] {
+        let data: Vec<Complex> =
+            (0..n * n * n).map(|i| Complex::new(i as f64, 0.0)).collect();
+        group.bench_with_input(BenchmarkId::new("cube", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut d = data.clone();
+                fft3_inplace(&mut d, n, n, n, false);
+                std::hint::black_box(d[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pfft_matvec(c: &mut Criterion) {
+    use bemcap_geom::{structures, Mesh};
+    use bemcap_linalg::LinearOperator;
+    use bemcap_pfft::{PfftConfig, PfftOperator};
+    let geo = structures::parallel_plates(1.0e-6, 1.0e-6, 0.3e-6);
+    let mesh = Mesh::uniform(&geo, 6);
+    let op = PfftOperator::new(&mesh, 1.0, PfftConfig::default()).expect("operator");
+    let n = mesh.panel_count();
+    let x = vec![1.0e-6; n];
+    let mut y = vec![0.0; n];
+    c.bench_function("pfft_matvec", |b| {
+        b.iter(|| {
+            op.apply(&x, &mut y);
+            std::hint::black_box(y[0])
+        })
+    });
+}
+
+criterion_group!(benches, bench_fft_1d, bench_fft_3d, bench_pfft_matvec);
+criterion_main!(benches);

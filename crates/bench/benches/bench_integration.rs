@@ -1,0 +1,105 @@
+//! Criterion benchmarks behind Table 1: per-evaluation cost of each
+//! integration technique and of the raw closed-form primitives.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use bemcap_accel::fastmath::{
+    fast_atan, fast_double_primitive, fast_ln, FastMathIntegrator,
+};
+use bemcap_accel::rational::RationalFit;
+use bemcap_accel::table3d::IndefiniteTable;
+use bemcap_accel::table6d::DirectTable;
+use bemcap_accel::technique::{sample_queries, AnalyticIntegrator, Integrator2d};
+use bemcap_quad::analytic;
+
+fn bench_techniques(c: &mut Criterion) {
+    let queries = sample_queries(256, 7);
+    let mut group = c.benchmark_group("table1_techniques");
+    let analytic_i = AnalyticIntegrator;
+    let direct = DirectTable::table1_default().expect("table");
+    let indef = IndefiniteTable::table1_default().expect("table");
+    let fast = FastMathIntegrator::new();
+    let rational = RationalFit::table1_default().expect("fit");
+    let evals: Vec<(&str, &dyn Integrator2d)> = vec![
+        ("0_analytic", &analytic_i),
+        ("1_direct_tab", &direct),
+        ("2_indef_tab", &indef),
+        ("3_subroutine_tab", &fast),
+        ("4_rational", &rational),
+    ];
+    for (name, technique) in evals {
+        group.bench_function(name, |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                std::hint::black_box(technique.eval(q))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    group.bench_function("double_primitive", |b| {
+        b.iter(|| std::hint::black_box(analytic::double_primitive(0.7, -0.3, 0.5)))
+    });
+    group.bench_function("fast_double_primitive", |b| {
+        let _ = fast_ln(1.0); // force table init outside the loop
+        b.iter(|| std::hint::black_box(fast_double_primitive(0.7, -0.3, 0.5)))
+    });
+    group.bench_function("quad_primitive", |b| {
+        b.iter(|| std::hint::black_box(analytic::quad_primitive(0.7, -0.3, 0.5)))
+    });
+    group.bench_function("std_ln", |b| b.iter(|| std::hint::black_box(1.2345_f64.ln())));
+    group.bench_function("fast_ln", |b| b.iter(|| std::hint::black_box(fast_ln(1.2345))));
+    group.bench_function("std_atan", |b| b.iter(|| std::hint::black_box(0.789_f64.atan())));
+    group.bench_function("fast_atan", |b| b.iter(|| std::hint::black_box(fast_atan(0.789))));
+    group.finish();
+}
+
+fn bench_galerkin_pairs(c: &mut Criterion) {
+    use bemcap_geom::{Axis, Panel};
+    use bemcap_quad::galerkin::{GalerkinEngine, PanelShape};
+    let eng = GalerkinEngine::default();
+    let a = Panel::new(Axis::Z, 0.0, (0.0, 1.0), (0.0, 1.0)).expect("panel");
+    let b_par = Panel::new(Axis::Z, 0.8, (0.3, 1.3), (0.0, 1.0)).expect("panel");
+    let b_perp = Panel::new(Axis::X, 1.5, (0.0, 1.0), (0.0, 1.0)).expect("panel");
+    let b_far = Panel::new(Axis::Z, 50.0, (0.0, 1.0), (0.0, 1.0)).expect("panel");
+    let mut group = c.benchmark_group("galerkin_pair");
+    group.bench_function("parallel_near_closed_form", |bch| {
+        bch.iter(|| eng.panel_pair(&a, PanelShape::Flat, &b_par, PanelShape::Flat))
+    });
+    group.bench_function("perpendicular_hybrid", |bch| {
+        bch.iter(|| eng.panel_pair(&a, PanelShape::Flat, &b_perp, PanelShape::Flat))
+    });
+    group.bench_function("far_point_approx", |bch| {
+        bch.iter(|| eng.panel_pair(&a, PanelShape::Flat, &b_far, PanelShape::Flat))
+    });
+    group.bench_function("self_term", |bch| {
+        bch.iter(|| eng.panel_pair(&a, PanelShape::Flat, &a, PanelShape::Flat))
+    });
+    group.bench_function("arch_flat_pair", |bch| {
+        let shape = |u: f64| (-0.5 * ((u - 0.5) / 0.3f64).powi(2)).exp();
+        bch.iter_batched(
+            || (),
+            |_| {
+                eng.panel_pair(
+                    &a,
+                    PanelShape::Shaped {
+                        dir: bemcap_quad::galerkin::ShapeDir::U,
+                        shape: &shape,
+                    },
+                    &b_par,
+                    PanelShape::Flat,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_techniques, bench_primitives, bench_galerkin_pairs);
+criterion_main!(benches);

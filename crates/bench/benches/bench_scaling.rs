@@ -1,0 +1,65 @@
+//! Criterion benchmarks of the parallel bookkeeping: triangular index
+//! math, partitioning, machine simulation, and multipole matvec (the
+//! per-iteration unit of the baselines' scaling story).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bemcap_par::{k_to_ij, partition_ranges, CommModel, MachineSim, Phase};
+
+fn bench_index_math(c: &mut Criterion) {
+    c.bench_function("k_to_ij_sweep_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for k in 0..100_000usize {
+                let (i, j) = k_to_ij(k);
+                acc = acc.wrapping_add(i ^ j);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    c.bench_function("partition_1m_into_10", |b| {
+        b.iter(|| std::hint::black_box(partition_ranges(1_000_000, 10)))
+    });
+}
+
+fn bench_machine_sim(c: &mut Criterion) {
+    let costs = vec![1e-5; 4096];
+    let mut group = c.benchmark_group("machine_sim_setup");
+    for &d in &[2usize, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let m = MachineSim::new(d, CommModel::cluster());
+            b.iter(|| m.simulate_setup(&costs, 1 << 20, 1e-3, 1e-3))
+        });
+    }
+    group.finish();
+    // A deep phase list (FMM-like): many barriers.
+    let m = MachineSim::new(8, CommModel::cluster());
+    let mut phases = Vec::new();
+    for _ in 0..50 {
+        phases.push(Phase::Parallel { costs_per_node: vec![1e-4; 8] });
+        phases.push(Phase::Barrier);
+        phases.push(Phase::AllToAll { bytes: 4096 });
+    }
+    c.bench_function("machine_sim_150_phases", |b| b.iter(|| m.simulate(&phases)));
+}
+
+fn bench_fmm_matvec(c: &mut Criterion) {
+    use bemcap_fmm::{FmmConfig, FmmOperator};
+    use bemcap_geom::{structures, Mesh};
+    use bemcap_linalg::LinearOperator;
+    let geo = structures::bus_crossing(2, 2, structures::BusParams::default());
+    let mesh = Mesh::uniform(&geo, 8);
+    let op = FmmOperator::new(&mesh, 1.0, FmmConfig::default()).expect("operator");
+    let n = mesh.panel_count();
+    let x = vec![1.0e-6; n];
+    let mut y = vec![0.0; n];
+    c.bench_function("fmm_matvec_2x2bus", |b| {
+        b.iter(|| {
+            op.apply(&x, &mut y);
+            std::hint::black_box(y[0])
+        })
+    });
+}
+
+criterion_group!(benches, bench_index_math, bench_machine_sim, bench_fmm_matvec);
+criterion_main!(benches);

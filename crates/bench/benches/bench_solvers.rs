@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the system-solving step across backends:
+//! dense direct (the paper's choice for small N), multipole-GMRES and
+//! pFFT-GMRES (the baselines' choice for large N).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bemcap_core::{Extractor, Method};
+use bemcap_fmm::FmmSolver;
+use bemcap_geom::structures::{self, CrossingParams};
+use bemcap_geom::Mesh;
+use bemcap_linalg::{LuFactor, Matrix};
+
+fn bench_direct_solve(c: &mut Criterion) {
+    // The tiny dense solve the instantiable method leaves behind.
+    let n = 200;
+    let a = Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            10.0
+        } else {
+            1.0 / (1.0 + (i as f64 - j as f64).abs())
+        }
+    });
+    let rhs = Matrix::from_fn(n, 2, |i, j| (i + j) as f64 * 1e-3);
+    let mut group = c.benchmark_group("direct_solve");
+    group.sample_size(20);
+    group.bench_function("lu_factor_200", |b| b.iter(|| LuFactor::new(a.clone()).expect("lu")));
+    let lu = LuFactor::new(a).expect("lu");
+    group.bench_function("lu_solve_200x2", |b| {
+        b.iter(|| lu.solve_matrix(&rhs).expect("solve"))
+    });
+    group.finish();
+}
+
+fn bench_krylov_backends(c: &mut Criterion) {
+    let geo = structures::crossing_wires(CrossingParams::default());
+    let mesh = Mesh::uniform(&geo, 6);
+    let mut group = c.benchmark_group("krylov_backends");
+    group.sample_size(10);
+    group.bench_function("fmm_gmres_extraction", |b| {
+        b.iter(|| FmmSolver::default().solve(&geo, &mesh).expect("fmm"))
+    });
+    group.bench_function("pfft_gmres_extraction", |b| {
+        b.iter(|| {
+            bemcap_pfft::operator::solve_capacitance(
+                &geo,
+                &mesh,
+                bemcap_pfft::PfftConfig::default(),
+                1e-6,
+                40,
+                600,
+            )
+            .expect("pfft")
+        })
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let geo = structures::crossing_wires(CrossingParams::default());
+    let mut group = c.benchmark_group("end_to_end_crossing");
+    group.sample_size(10);
+    group.bench_function("instantiable", |b| {
+        b.iter(|| Extractor::new().extract(&geo).expect("extraction"))
+    });
+    group.bench_function("instantiable_accelerated", |b| {
+        b.iter(|| Extractor::new().accelerated(true).extract(&geo).expect("extraction"))
+    });
+    group.bench_function("pwc_dense_div6", |b| {
+        b.iter(|| {
+            Extractor::new().method(Method::PwcDense).mesh_divisions(6).extract(&geo).expect("pwc")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_direct_solve, bench_krylov_backends, bench_end_to_end);
+criterion_main!(benches);

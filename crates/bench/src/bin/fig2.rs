@@ -1,0 +1,115 @@
+//! Fig. 2: the extracted flat and arch charge shapes of the elementary
+//! crossing problem, plus the h-sweep behind the a(h), b(h) parameter
+//! laws.
+//!
+//! Prints the charge-density profile along the target wire as an ASCII
+//! plot and the fitted arch metrics at several separations.
+
+use bemcap_basis::calibrate::{analyze_profile, calibrate_crossing, fit_laws};
+use bemcap_geom::structures::{crossing_wires, CrossingParams};
+use bemcap_geom::{Axis, Mesh};
+use bemcap_linalg::{LuFactor, Matrix};
+use bemcap_quad::galerkin::GalerkinEngine;
+
+fn main() {
+    let params = CrossingParams::default();
+    let geo = crossing_wires(params);
+    let mesh = Mesh::uniform(&geo, 28);
+    eprintln!("solving the elementary problem with {} panels...", mesh.panel_count());
+
+    // Fine PWC collocation solve (the same machinery as calibrate.rs,
+    // expanded here so the profile itself can be printed).
+    let n = mesh.panel_count();
+    let eng = GalerkinEngine::default();
+    let mut a = Matrix::zeros(n, n);
+    for (i, pi) in mesh.panels().iter().enumerate() {
+        let c = pi.panel.center();
+        for (j, pj) in mesh.panels().iter().enumerate() {
+            a.set(i, j, eng.potential_at(&pj.panel, c));
+        }
+    }
+    let rhs: Vec<f64> =
+        mesh.panels().iter().map(|p| if p.conductor == 1 { 1.0 } else { 0.0 }).collect();
+    let q = LuFactor::new(a).expect("factor").solve_vec(&rhs).expect("solve");
+
+    // Profile along the target top face.
+    let mut prof: Vec<(f64, f64)> = mesh
+        .panels()
+        .iter()
+        .zip(&q)
+        .filter(|(p, _)| {
+            p.conductor == 0 && p.panel.normal() == Axis::Z && p.panel.w().abs() < 1e-12
+        })
+        .map(|(p, &d)| (p.panel.center().x, d.abs()))
+        .collect();
+    prof.sort_by(|x, y| x.0.total_cmp(&y.0));
+    // Average y-rows at equal x.
+    let mut xs = Vec::new();
+    let mut vals: Vec<f64> = Vec::new();
+    let mut counts: Vec<usize> = Vec::new();
+    for (x, v) in prof {
+        if let Some(&last) = xs.last() {
+            if (x - last as f64).abs() < 1e-12 {
+                let k = vals.len() - 1;
+                vals[k] += v;
+                counts[k] += 1;
+                continue;
+            }
+        }
+        xs.push(x);
+        vals.push(v);
+        counts.push(1);
+    }
+    for (v, c) in vals.iter_mut().zip(&counts) {
+        *v /= *c as f64;
+    }
+
+    println!("Fig. 2: induced |charge density| along the target wire (x in µm)\n");
+    let peak = vals.iter().cloned().fold(0.0_f64, f64::max);
+    for (x, v) in xs.iter().zip(&vals) {
+        let bar = "#".repeat(((v / peak) * 60.0) as usize);
+        println!("{:>7.2} | {bar}", x * 1e6);
+    }
+    let w = params.width;
+    println!(
+        "\nfootprint edges at x = ±{:.2} µm; flat plateau inside, arch tails outside",
+        0.5 * w * 1e6
+    );
+
+    // Extracted metrics at this h and the sweep (Fig. 2's a(h), b(h)).
+    let s0 = analyze_profile(&xs, &vals, w, params.separation).expect("analysis");
+    println!(
+        "\nextracted at h = {:.2} µm: arch width b = {:.3} µm, extension e = {:.3} µm, peak/flat = {:.2}",
+        params.separation * 1e6,
+        s0.width * 1e6,
+        s0.extension * 1e6,
+        s0.peak_ratio
+    );
+    let mut samples = vec![s0];
+    for mult in [0.6, 1.0, 1.6] {
+        let mut p = params;
+        p.separation = mult * p.width;
+        let s = calibrate_crossing(p, 24).expect("calibration");
+        println!(
+            "h = {:.2} µm → b = {:.3} µm, e = {:.3} µm",
+            s.h * 1e6,
+            s.width * 1e6,
+            s.extension * 1e6
+        );
+        samples.push(s);
+    }
+    let laws = fit_laws(&samples).expect("fit");
+    println!("\nfitted laws: b(h) = {:.3}·h, e(h) = {:.3}·h", laws.width_coeff, laws.ext_coeff);
+    bemcap_bench::write_record(
+        "fig2",
+        &serde_json::json!({
+            "profile_x_um": xs.iter().map(|x| x * 1e6).collect::<Vec<_>>(),
+            "profile_density": vals,
+            "width_coeff": laws.width_coeff,
+            "ext_coeff": laws.ext_coeff,
+            "samples": samples.iter().map(|s| serde_json::json!({
+                "h": s.h, "width": s.width, "extension": s.extension,
+                "peak_ratio": s.peak_ratio })).collect::<Vec<_>>(),
+        }),
+    );
+}

@@ -1,0 +1,75 @@
+//! Table 1: performance comparison of the integration acceleration
+//! techniques for the 2-D expression (equation (13)).
+//!
+//! Prints time per evaluation, speedup over the analytic baseline, and
+//! table memory — the same three columns as the paper.
+
+use bemcap_accel::fastmath::FastMathIntegrator;
+use bemcap_accel::rational::RationalFit;
+use bemcap_accel::table3d::IndefiniteTable;
+use bemcap_accel::table6d::DirectTable;
+use bemcap_accel::technique::{sample_queries, AnalyticIntegrator, Integrator2d};
+use bemcap_bench::{fmt_bytes, fmt_seconds, time_per_call};
+
+fn main() {
+    let queries = sample_queries(2000, 42);
+    println!("Table 1: integration acceleration techniques (2-D expression, eq. 13)");
+    println!("(paper reference on Xeon 3.2 GHz, single precision: 280/136/240/128/224 ns)\n");
+    println!(
+        "{:<3}{:<30}{:>12}{:>10}{:>12}{:>12}",
+        "#", "Technique", "Time/eval", "Speedup", "Memory", "Max err"
+    );
+
+    // Build every technique up front (construction excluded from timing,
+    // as in the paper).
+    let analytic = AnalyticIntegrator;
+    let direct = DirectTable::table1_default().expect("direct table");
+    let indef = IndefiniteTable::table1_default().expect("indefinite table");
+    let fast = FastMathIntegrator::new();
+    let rational = RationalFit::table1_default().expect("rational fit");
+
+    let exact: Vec<f64> = queries.iter().map(|q| analytic.eval(q)).collect();
+    let mut rows = Vec::new();
+    let evaluators: Vec<(&dyn Integrator2d, &str)> = vec![
+        (&analytic, "0"),
+        (&direct, "1"),
+        (&indef, "2"),
+        (&fast, "3"),
+        (&rational, "4"),
+    ];
+    let mut baseline = 0.0;
+    for (technique, idx) in evaluators {
+        let per_eval = time_per_call(20, || {
+            let mut acc = 0.0;
+            for q in &queries {
+                acc += technique.eval(q);
+            }
+            acc
+        }) / queries.len() as f64;
+        if idx == "0" {
+            baseline = per_eval;
+        }
+        let max_err = queries
+            .iter()
+            .zip(&exact)
+            .map(|(q, e)| (technique.eval(q) - e).abs() / e.abs().max(0.1))
+            .fold(0.0_f64, f64::max);
+        println!(
+            "{:<3}{:<30}{:>12}{:>9.2}x{:>12}{:>11.2}%",
+            idx,
+            technique.name(),
+            fmt_seconds(per_eval),
+            baseline / per_eval,
+            fmt_bytes(technique.memory_bytes()),
+            100.0 * max_err
+        );
+        rows.push(serde_json::json!({
+            "technique": technique.name(),
+            "ns_per_eval": per_eval * 1e9,
+            "speedup": baseline / per_eval,
+            "memory_bytes": technique.memory_bytes(),
+            "max_rel_error": max_err,
+        }));
+    }
+    bemcap_bench::write_record("table1", &serde_json::json!({ "rows": rows }));
+}

@@ -1,0 +1,88 @@
+//! # bemcap-bench — the table/figure reproduction harness
+//!
+//! One binary per table and figure of the paper's evaluation:
+//!
+//! | target | reproduces | run |
+//! |--------|------------|-----|
+//! | `table1` | Table 1 — integration acceleration techniques | `cargo run --release -p bemcap-bench --bin table1` |
+//! | `table2` | Table 2 — FASTCAP vs instantiable on the transistor interconnect | `cargo run --release -p bemcap-bench --bin table2` |
+//! | `table3` | Table 3 — bus scaling, shared & distributed memory | `cargo run --release -p bemcap-bench --bin table3 [size]` |
+//! | `fig8`   | Fig. 8 — parallel efficiency of all four methods | `cargo run --release -p bemcap-bench --bin fig8 [size]` |
+//! | `fig2`   | Fig. 2 — extracted flat/arch charge shapes | `cargo run --release -p bemcap-bench --bin fig2` |
+//! | `ablation` | §4.1/§4.2 design-choice ablations | `cargo run --release -p bemcap-bench --bin ablation` |
+//!
+//! Each binary prints the paper-style table and appends a JSON record to
+//! `target/bench-results/` for EXPERIMENTS.md.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Times `f` by running it `iters` times and returning seconds per call.
+pub fn time_per_call<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(iters > 0);
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Formats a byte count like the paper's tables (KB/MB).
+pub fn fmt_bytes(bytes: usize) -> String {
+    if bytes >= 1_000_000 {
+        format!("{:.1} MB", bytes as f64 / 1.0e6)
+    } else if bytes >= 1_000 {
+        format!("{:.1} KB", bytes as f64 / 1.0e3)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Formats seconds adaptively (ns/µs/ms/s).
+pub fn fmt_seconds(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.0} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.2} s")
+    }
+}
+
+/// Appends a JSON record for EXPERIMENTS.md under `target/bench-results/`.
+pub fn write_record(name: &str, value: &serde_json::Value) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/bench-results");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = writeln!(f, "{}", serde_json::to_string_pretty(value).unwrap_or_default());
+        eprintln!("[record written to {}]", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2_500), "2.5 KB");
+        assert_eq!(fmt_bytes(1_500_000), "1.5 MB");
+        assert!(fmt_seconds(3.2e-7).contains("ns"));
+        assert!(fmt_seconds(3.2e-5).contains("µs"));
+        assert!(fmt_seconds(3.2e-2).contains("ms"));
+        assert!(fmt_seconds(3.2).contains('s'));
+    }
+
+    #[test]
+    fn timing_is_positive() {
+        let t = time_per_call(10, || (0..100).sum::<usize>());
+        assert!(t >= 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type of the extraction layer.
+
+use std::error::Error;
+use std::fmt;
+
+use bemcap_basis::BasisError;
+use bemcap_fmm::FmmError;
+use bemcap_linalg::LinalgError;
+use bemcap_pfft::PfftError;
+
+/// Errors from the extraction pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Basis instantiation failed.
+    Basis(BasisError),
+    /// A dense factorization or Krylov solve failed.
+    Linalg(LinalgError),
+    /// The multipole baseline failed.
+    Fmm(FmmError),
+    /// The precorrected-FFT baseline failed.
+    Pfft(PfftError),
+    /// The geometry has no conductors.
+    EmptyGeometry,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Basis(e) => write!(f, "basis construction failed: {e}"),
+            CoreError::Linalg(e) => write!(f, "linear algebra failed: {e}"),
+            CoreError::Fmm(e) => write!(f, "multipole solver failed: {e}"),
+            CoreError::Pfft(e) => write!(f, "pfft solver failed: {e}"),
+            CoreError::EmptyGeometry => write!(f, "geometry has no conductors"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Basis(e) => Some(e),
+            CoreError::Linalg(e) => Some(e),
+            CoreError::Fmm(e) => Some(e),
+            CoreError::Pfft(e) => Some(e),
+            CoreError::EmptyGeometry => None,
+        }
+    }
+}
+
+impl From<BasisError> for CoreError {
+    fn from(e: BasisError) -> Self {
+        CoreError::Basis(e)
+    }
+}
+
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+impl From<FmmError> for CoreError {
+    fn from(e: FmmError) -> Self {
+        CoreError::Fmm(e)
+    }
+}
+
+impl From<PfftError> for CoreError {
+    fn from(e: PfftError) -> Self {
+        CoreError::Pfft(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = BasisError::EmptyGeometry.into();
+        assert!(matches!(e, CoreError::Basis(_)));
+        assert!(Error::source(&e).is_some());
+        let e: CoreError = LinalgError::NotFinite.into();
+        assert!(!format!("{e}").is_empty());
+        assert!(Error::source(&CoreError::EmptyGeometry).is_none());
+    }
+}

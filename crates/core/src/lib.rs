@@ -1,0 +1,37 @@
+//! # bemcap-core — the capacitance extraction solver
+//!
+//! The user-facing layer of the workspace: build a [`Geometry`], pick a
+//! [`Method`], get a capacitance matrix.
+//!
+//! * [`Method::InstantiableBasis`] — the paper's solver: instantiable
+//!   basis functions, Algorithm 1 matrix filling (sequential, threaded or
+//!   message-passing), dense LU solve;
+//! * [`Method::PwcDense`] — piecewise-constant Galerkin with a dense
+//!   direct solve (small problems, exact reference);
+//! * [`Method::PwcFmm`] — the FASTCAP-style multipole baseline;
+//! * [`Method::PwcPfft`] — the precorrected-FFT baseline.
+//!
+//! ```
+//! use bemcap_core::{Extractor, Method};
+//! use bemcap_geom::structures::{self, CrossingParams};
+//!
+//! let geo = structures::crossing_wires(CrossingParams::default());
+//! let extraction = Extractor::new().method(Method::InstantiableBasis).extract(&geo)?;
+//! let c = extraction.capacitance();
+//! assert_eq!(c.dim(), 2);
+//! assert!(c.get(0, 0) > 0.0 && c.get(0, 1) < 0.0);
+//! # Ok::<(), bemcap_core::CoreError>(())
+//! ```
+
+pub mod assembly;
+pub mod error;
+pub mod extraction;
+pub mod report;
+pub mod solver;
+pub mod sweep;
+
+pub use error::CoreError;
+pub use extraction::{CapacitanceMatrix, Extraction, Extractor, Method};
+pub use report::ExtractionReport;
+
+pub use bemcap_geom::Geometry;

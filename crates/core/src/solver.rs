@@ -1,0 +1,122 @@
+//! The system-solving step and the piecewise-constant dense reference.
+
+use std::time::Instant;
+
+use bemcap_geom::{Geometry, Mesh, EPS0};
+use bemcap_linalg::{LuFactor, Matrix};
+use bemcap_quad::galerkin::{GalerkinEngine, PanelShape};
+
+use crate::error::CoreError;
+
+/// Solves P ρ = Φ by LU (the "standard direct method" of §3) and forms
+/// C = Φᵀ ρ. Returns (C, solve seconds).
+///
+/// # Errors
+///
+/// * [`CoreError::Linalg`] if P is singular or shapes mismatch.
+pub fn solve_capacitance(p: Matrix, phi: &Matrix) -> Result<(Matrix, f64), CoreError> {
+    let start = Instant::now();
+    let lu = LuFactor::new(p)?;
+    let rho = lu.solve_matrix(phi)?;
+    let c = phi.transpose().matmul(&rho)?;
+    Ok((c, start.elapsed().as_secs_f64()))
+}
+
+/// Dense piecewise-constant Galerkin reference solver: assembles the full
+/// panel matrix with exact closed forms and solves directly. Exact up to
+/// discretization error; O(N²) memory, so only for modest meshes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DensePwcSolver;
+
+impl DensePwcSolver {
+    /// Extracts the capacitance matrix of `geo` discretized by `mesh`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Linalg`] if the panel matrix is singular.
+    pub fn solve(&self, geo: &Geometry, mesh: &Mesh) -> Result<Matrix, CoreError> {
+        let eng = GalerkinEngine::default();
+        let scale = 1.0 / (4.0 * std::f64::consts::PI * geo.eps());
+        let n = mesh.panel_count();
+        let mut p = Matrix::zeros(n, n);
+        for i in 0..n {
+            let pi = &mesh.panels()[i].panel;
+            for j in i..n {
+                let v = scale
+                    * eng.panel_pair(pi, PanelShape::Flat, &mesh.panels()[j].panel, PanelShape::Flat);
+                p.set(i, j, v);
+                p.set(j, i, v);
+            }
+        }
+        let n_cond = geo.conductor_count();
+        let mut phi = Matrix::zeros(n, n_cond);
+        for (i, mp) in mesh.panels().iter().enumerate() {
+            phi.set(i, mp.conductor, mp.panel.area());
+        }
+        let (c, _) = solve_capacitance(p, &phi)?;
+        Ok(c)
+    }
+}
+
+/// Convenience: the ideal parallel-plate estimate ε A / d, used in tests
+/// and examples as a sanity scale.
+pub fn ideal_plate_capacitance(area: f64, gap: f64, eps_rel: f64) -> f64 {
+    eps_rel * EPS0 * area / gap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bemcap_geom::structures;
+
+    #[test]
+    fn dense_pwc_parallel_plates() {
+        let w = 1.0e-6;
+        let d = 0.2e-6;
+        let geo = structures::parallel_plates(w, w, d);
+        let mesh = Mesh::uniform(&geo, 8);
+        let c = DensePwcSolver.solve(&geo, &mesh).unwrap();
+        let ideal = ideal_plate_capacitance(w * w, d, 1.0);
+        let coupling = -c.get(0, 1);
+        assert!(coupling > ideal && coupling < 3.0 * ideal, "coupling {coupling} vs {ideal}");
+        assert!(c.is_symmetric(5e-2));
+    }
+
+    #[test]
+    fn dense_pwc_agrees_with_fmm() {
+        let geo = structures::crossing_wires(structures::CrossingParams::default());
+        let mesh = Mesh::uniform(&geo, 8);
+        let dense = DensePwcSolver.solve(&geo, &mesh).unwrap();
+        let fmm = bemcap_fmm::FmmSolver::default().solve(&geo, &mesh).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                let a = dense.get(i, j);
+                let b = fmm.capacitance.get(i, j);
+                assert!(
+                    (a - b).abs() < 2e-2 * a.abs().max(b.abs()),
+                    "({i},{j}): dense {a} vs fmm {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_capacitance_shapes() {
+        // A tiny synthetic SPD system.
+        let p = Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 3.0]]).unwrap();
+        let phi = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]).unwrap();
+        let (c, secs) = solve_capacitance(p, &phi).unwrap();
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        assert!(secs >= 0.0);
+        // C = Φᵀ P⁻¹ Φ is symmetric for symmetric P.
+        assert!(c.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn singular_p_reported() {
+        let p = Matrix::zeros(2, 2);
+        let phi = Matrix::identity(2);
+        assert!(matches!(solve_capacitance(p, &phi), Err(CoreError::Linalg(_))));
+    }
+}

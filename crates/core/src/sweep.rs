@@ -1,0 +1,80 @@
+//! Parameter sweeps: run one extractor over a family of geometries.
+//!
+//! Capacitance-vs-separation and capacitance-vs-width curves are the daily
+//! bread of extraction users (and the h-sweeps behind the paper's Fig. 2);
+//! this module packages the loop with per-point reports.
+
+use bemcap_geom::Geometry;
+
+use crate::error::CoreError;
+use crate::extraction::{Extraction, Extractor};
+
+/// One sweep point: the swept parameter value and its extraction.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The swept parameter value.
+    pub parameter: f64,
+    /// The full extraction result at this value.
+    pub extraction: Extraction,
+}
+
+/// Runs `extractor` on `build(p)` for every parameter in `params`.
+///
+/// # Errors
+///
+/// Returns the first extraction error together with the offending
+/// parameter value embedded in the error context.
+pub fn sweep(
+    extractor: &Extractor,
+    params: &[f64],
+    mut build: impl FnMut(f64) -> Geometry,
+) -> Result<Vec<SweepPoint>, CoreError> {
+    let mut out = Vec::with_capacity(params.len());
+    for &p in params {
+        let geo = build(p);
+        let extraction = extractor.extract(&geo)?;
+        out.push(SweepPoint { parameter: p, extraction });
+    }
+    Ok(out)
+}
+
+/// Extracts one capacitance entry across a sweep as (parameter, C_ij)
+/// pairs — the plottable curve.
+pub fn entry_curve(points: &[SweepPoint], i: usize, j: usize) -> Vec<(f64, f64)> {
+    points.iter().map(|p| (p.parameter, p.extraction.capacitance().get(i, j))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bemcap_geom::structures::{self, CrossingParams};
+
+    #[test]
+    fn coupling_decreases_with_separation() {
+        let ex = Extractor::new();
+        let hs = [0.4e-6, 0.8e-6, 1.6e-6];
+        let points = sweep(&ex, &hs, |h| {
+            let mut p = CrossingParams::default();
+            p.separation = h;
+            structures::crossing_wires(p)
+        })
+        .expect("sweep");
+        let curve = entry_curve(&points, 0, 1);
+        assert_eq!(curve.len(), 3);
+        // Coupling magnitude decreases monotonically with h.
+        for w in curve.windows(2) {
+            assert!(
+                w[0].1.abs() > w[1].1.abs(),
+                "coupling must fall with h: {:?}",
+                curve
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_propagates_errors() {
+        let ex = Extractor::new();
+        let err = sweep(&ex, &[1.0], |_| bemcap_geom::Geometry::new(vec![]));
+        assert!(err.is_err());
+    }
+}

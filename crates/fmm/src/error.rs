@@ -1,0 +1,62 @@
+//! Error types for the multipole solver.
+
+use bemcap_linalg::LinalgError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from building or running the multipole solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FmmError {
+    /// The mesh has no panels.
+    EmptyMesh,
+    /// The Krylov solve failed.
+    Solve(LinalgError),
+    /// The reference-refinement loop hit its iteration cap before the
+    /// solutions stabilized.
+    NoRefinementConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Last relative change observed.
+        last_change: f64,
+    },
+}
+
+impl fmt::Display for FmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FmmError::EmptyMesh => write!(f, "mesh has no panels"),
+            FmmError::Solve(e) => write!(f, "krylov solve failed: {e}"),
+            FmmError::NoRefinementConvergence { iterations, last_change } => write!(
+                f,
+                "refinement loop did not stabilize after {iterations} iterations (last change {last_change:.2e})"
+            ),
+        }
+    }
+}
+
+impl Error for FmmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FmmError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for FmmError {
+    fn from(e: LinalgError) -> Self {
+        FmmError::Solve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FmmError::Solve(LinalgError::NotFinite);
+        assert!(Error::source(&e).is_some());
+        assert!(!format!("{}", FmmError::EmptyMesh).is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Cartesian multipole expansions (monopole + dipole + quadrupole).
+
+use bemcap_geom::Point3;
+
+/// Order-2 Cartesian multipole moments of a charge cluster about a center:
+///
+/// * `q`   = Σ qⱼ               (monopole)
+/// * `d_i` = Σ qⱼ (rⱼ−c)_i      (dipole)
+/// * `m_ij`= Σ qⱼ (rⱼ−c)_i (rⱼ−c)_j   (raw quadrupole)
+///
+/// The far potential is
+/// φ(x) ≈ q/r + d·r̂/r² + ½ Σᵢⱼ m_ij (3 x̂ᵢx̂ⱼ − δᵢⱼ)/r³, giving a relative
+/// truncation error O((a/r)³) for cluster radius a.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Moments {
+    /// Expansion center.
+    pub center: Point3,
+    /// Total charge.
+    pub q: f64,
+    /// Dipole vector.
+    pub d: [f64; 3],
+    /// Raw second-moment tensor (symmetric; all 9 entries stored).
+    pub m: [[f64; 3]; 3],
+}
+
+impl Moments {
+    /// Zero moments about `center`.
+    pub fn new(center: Point3) -> Moments {
+        Moments { center, ..Moments::default() }
+    }
+
+    /// Accumulates a point charge.
+    pub fn add_charge(&mut self, at: Point3, q: f64) {
+        let s: [f64; 3] = (at - self.center).into();
+        self.q += q;
+        for i in 0..3 {
+            self.d[i] += q * s[i];
+            for j in 0..3 {
+                self.m[i][j] += q * s[i] * s[j];
+            }
+        }
+    }
+
+    /// Adds another expansion translated to this center (the M2M step of
+    /// the upward pass).
+    pub fn add_translated(&mut self, child: &Moments) {
+        let s: [f64; 3] = (child.center - self.center).into();
+        self.q += child.q;
+        for i in 0..3 {
+            self.d[i] += child.d[i] + child.q * s[i];
+            for j in 0..3 {
+                self.m[i][j] +=
+                    child.m[i][j] + child.d[i] * s[j] + child.d[j] * s[i] + child.q * s[i] * s[j];
+            }
+        }
+    }
+
+    /// Evaluates the expansion's potential at `x` (raw 1/r kernel).
+    pub fn eval(&self, x: Point3) -> f64 {
+        let rv: [f64; 3] = (x - self.center).into();
+        let r2 = rv[0] * rv[0] + rv[1] * rv[1] + rv[2] * rv[2];
+        let r = r2.sqrt();
+        let inv_r = 1.0 / r;
+        let inv_r3 = inv_r / r2;
+        let inv_r5 = inv_r3 / r2;
+        let mut phi = self.q * inv_r;
+        // Dipole.
+        phi += (self.d[0] * rv[0] + self.d[1] * rv[1] + self.d[2] * rv[2]) * inv_r3;
+        // Quadrupole with raw moments: ½ Σ m_ij (3 rᵢrⱼ/r⁵ − δᵢⱼ/r³).
+        let mut quad = 0.0;
+        let mut trace = 0.0;
+        for i in 0..3 {
+            trace += self.m[i][i];
+            for j in 0..3 {
+                quad += self.m[i][j] * rv[i] * rv[j];
+            }
+        }
+        phi += 0.5 * (3.0 * quad * inv_r5 - trace * inv_r3);
+        phi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Vec<(Point3, f64)> {
+        vec![
+            (Point3::new(0.1, 0.0, -0.2), 1.0),
+            (Point3::new(-0.3, 0.2, 0.1), -0.5),
+            (Point3::new(0.0, -0.1, 0.25), 2.0),
+        ]
+    }
+
+    fn direct(points: &[(Point3, f64)], x: Point3) -> f64 {
+        points.iter().map(|(p, q)| q / p.distance(x)).sum()
+    }
+
+    #[test]
+    fn far_field_accuracy_order() {
+        let pts = cluster();
+        let mut m = Moments::new(Point3::ZERO);
+        for (p, q) in &pts {
+            m.add_charge(*p, *q);
+        }
+        // Error should drop like (a/r)^3.
+        let e_near = {
+            let x = Point3::new(3.0, 1.0, 0.5);
+            (m.eval(x) - direct(&pts, x)).abs() / direct(&pts, x).abs()
+        };
+        let e_far = {
+            let x = Point3::new(30.0, 10.0, 5.0);
+            (m.eval(x) - direct(&pts, x)).abs() / direct(&pts, x).abs()
+        };
+        assert!(e_near < 1e-2, "near rel err {e_near}");
+        assert!(e_far < e_near * 1e-2, "far err {e_far} vs near {e_near}");
+    }
+
+    #[test]
+    fn translation_preserves_potential() {
+        let pts = cluster();
+        let mut child = Moments::new(Point3::new(0.05, -0.05, 0.0));
+        for (p, q) in &pts {
+            child.add_charge(*p, *q);
+        }
+        let mut parent = Moments::new(Point3::new(0.5, 0.5, 0.5));
+        parent.add_translated(&child);
+        // A direct expansion about the parent center must agree exactly
+        // (translation is exact for raw moments).
+        let mut direct_parent = Moments::new(Point3::new(0.5, 0.5, 0.5));
+        for (p, q) in &pts {
+            direct_parent.add_charge(*p, *q);
+        }
+        assert!((parent.q - direct_parent.q).abs() < 1e-14);
+        for i in 0..3 {
+            assert!((parent.d[i] - direct_parent.d[i]).abs() < 1e-14);
+            for j in 0..3 {
+                assert!((parent.m[i][j] - direct_parent.m[i][j]).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn pure_monopole() {
+        let mut m = Moments::new(Point3::ZERO);
+        m.add_charge(Point3::ZERO, 2.0);
+        let x = Point3::new(0.0, 0.0, 4.0);
+        assert!((m.eval(x) - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn dipole_field() {
+        // Two opposite charges: potential on the axis ≈ p·z/r³.
+        let mut m = Moments::new(Point3::ZERO);
+        m.add_charge(Point3::new(0.0, 0.0, 0.01), 1.0);
+        m.add_charge(Point3::new(0.0, 0.0, -0.01), -1.0);
+        let x = Point3::new(0.0, 0.0, 2.0);
+        let expect = 0.02 / 4.0; // p/r²
+        assert!((m.eval(x) - expect).abs() < 1e-6, "{} vs {expect}", m.eval(x));
+    }
+}

@@ -1,0 +1,228 @@
+//! Octree over panel centroids.
+
+use bemcap_geom::{MeshPanel, Point3};
+
+/// One octree node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Cube center.
+    pub center: Point3,
+    /// Cube half-edge.
+    pub half: f64,
+    /// Depth (root = 0).
+    pub level: usize,
+    /// Child node indices (empty for leaves).
+    pub children: Vec<usize>,
+    /// Panel indices owned by this node (only non-empty at leaves).
+    pub panels: Vec<usize>,
+    /// Number of panels in the subtree.
+    pub count: usize,
+}
+
+impl Node {
+    /// `true` when the node has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Radius of the bounding sphere of the cube.
+    pub fn radius(&self) -> f64 {
+        self.half * 3.0_f64.sqrt()
+    }
+}
+
+/// An octree over mesh panels, built by recursive subdivision until leaves
+/// hold at most `leaf_size` panels.
+#[derive(Debug, Clone)]
+pub struct Octree {
+    nodes: Vec<Node>,
+}
+
+impl Octree {
+    /// Builds the tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `panels` is empty or `leaf_size == 0`.
+    pub fn build(panels: &[MeshPanel], leaf_size: usize) -> Octree {
+        assert!(!panels.is_empty(), "octree needs panels");
+        assert!(leaf_size > 0, "leaf size must be positive");
+        let centers: Vec<Point3> = panels.iter().map(|p| p.panel.center()).collect();
+        // Root cube: the bounding box inflated to a cube.
+        let mut lo = centers[0];
+        let mut hi = centers[0];
+        for c in &centers {
+            lo = lo.min(*c);
+            hi = hi.max(*c);
+        }
+        let center = (lo + hi) * 0.5;
+        let half = ((hi - lo).x.max((hi - lo).y).max((hi - lo).z) * 0.5).max(1e-30) * 1.0001;
+        let mut tree = Octree { nodes: Vec::new() };
+        let all: Vec<usize> = (0..panels.len()).collect();
+        tree.subdivide(center, half, 0, all, &centers, leaf_size);
+        tree
+    }
+
+    fn subdivide(
+        &mut self,
+        center: Point3,
+        half: f64,
+        level: usize,
+        panel_idx: Vec<usize>,
+        centers: &[Point3],
+        leaf_size: usize,
+    ) -> usize {
+        let my_index = self.nodes.len();
+        let count = panel_idx.len();
+        self.nodes.push(Node {
+            center,
+            half,
+            level,
+            children: Vec::new(),
+            panels: Vec::new(),
+            count,
+        });
+        // Depth cap guards against coincident centroids.
+        if count <= leaf_size || level >= 24 {
+            self.nodes[my_index].panels = panel_idx;
+            return my_index;
+        }
+        // Partition panels into octants.
+        let mut buckets: [Vec<usize>; 8] = Default::default();
+        for &pi in &panel_idx {
+            let c = centers[pi];
+            let oct = ((c.x >= center.x) as usize)
+                | (((c.y >= center.y) as usize) << 1)
+                | (((c.z >= center.z) as usize) << 2);
+            buckets[oct].push(pi);
+        }
+        let h2 = half * 0.5;
+        let mut children = Vec::new();
+        for (oct, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let off = Point3::new(
+                if oct & 1 != 0 { h2 } else { -h2 },
+                if oct & 2 != 0 { h2 } else { -h2 },
+                if oct & 4 != 0 { h2 } else { -h2 },
+            );
+            let child =
+                self.subdivide(center + off, h2, level + 1, bucket, centers, leaf_size);
+            children.push(child);
+        }
+        self.nodes[my_index].children = children;
+        my_index
+    }
+
+    /// All nodes (root at index 0).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the tree has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Maximum depth.
+    pub fn depth(&self) -> usize {
+        self.nodes.iter().map(|n| n.level).max().unwrap_or(0)
+    }
+
+    /// Node counts per level, root first — the shape information the
+    /// parallel cost model needs (top levels have too few nodes to occupy
+    /// all compute nodes).
+    pub fn level_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.depth() + 1];
+        for n in &self.nodes {
+            counts[n.level] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bemcap_geom::{structures, Mesh};
+
+    fn mesh() -> Mesh {
+        let geo = structures::bus_crossing(3, 3, structures::BusParams::default());
+        Mesh::uniform(&geo, 6)
+    }
+
+    #[test]
+    fn all_panels_in_leaves_exactly_once() {
+        let m = mesh();
+        let tree = Octree::build(m.panels(), 8);
+        let mut seen = vec![false; m.panel_count()];
+        for n in tree.nodes() {
+            if n.is_leaf() {
+                for &p in &n.panels {
+                    assert!(!seen[p], "panel {p} in two leaves");
+                    seen[p] = true;
+                }
+            } else {
+                assert!(n.panels.is_empty());
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "panel missing from tree");
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let m = mesh();
+        let tree = Octree::build(m.panels(), 8);
+        let root = &tree.nodes()[0];
+        assert_eq!(root.count, m.panel_count());
+        for n in tree.nodes() {
+            if !n.is_leaf() {
+                let child_sum: usize =
+                    n.children.iter().map(|&c| tree.nodes()[c].count).sum();
+                assert_eq!(child_sum, n.count);
+            } else {
+                assert_eq!(n.panels.len(), n.count);
+                assert!(n.count <= 8 || n.level >= 24);
+            }
+        }
+    }
+
+    #[test]
+    fn children_are_contained_in_parent() {
+        let m = mesh();
+        let tree = Octree::build(m.panels(), 8);
+        for n in tree.nodes() {
+            for &c in &n.children {
+                let child = &tree.nodes()[c];
+                assert_eq!(child.level, n.level + 1);
+                assert!((child.half - n.half * 0.5).abs() < 1e-12 * n.half);
+                let d = child.center - n.center;
+                assert!(d.x.abs() <= n.half && d.y.abs() <= n.half && d.z.abs() <= n.half);
+            }
+        }
+    }
+
+    #[test]
+    fn level_counts_sum_to_node_count() {
+        let m = mesh();
+        let tree = Octree::build(m.panels(), 8);
+        let counts = tree.level_counts();
+        assert_eq!(counts.iter().sum::<usize>(), tree.len());
+        assert_eq!(counts[0], 1);
+    }
+
+    #[test]
+    fn single_panel_tree() {
+        let geo = structures::cube(1.0);
+        let m = Mesh::uniform(&geo, 1);
+        let tree = Octree::build(m.panels(), 4);
+        assert!(tree.len() >= 1);
+        assert_eq!(tree.nodes()[0].count, m.panel_count());
+    }
+}

@@ -1,0 +1,111 @@
+//! Coordinate axes for Manhattan geometry.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the three coordinate axes.
+///
+/// Every panel in a Manhattan layout is normal to exactly one axis; the two
+/// remaining axes span the panel plane. [`Axis::tangents`] returns them in a
+/// fixed cyclic order so that (u, v, normal) always forms a right-handed
+/// frame.
+///
+/// ```
+/// use bemcap_geom::Axis;
+/// assert_eq!(Axis::Z.tangents(), (Axis::X, Axis::Y));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Axis {
+    /// The x axis.
+    X,
+    /// The y axis.
+    Y,
+    /// The z axis.
+    Z,
+}
+
+impl Axis {
+    /// All three axes in order.
+    pub const ALL: [Axis; 3] = [Axis::X, Axis::Y, Axis::Z];
+
+    /// The two axes spanning the plane normal to `self`, in cyclic order:
+    /// `X → (Y, Z)`, `Y → (Z, X)`, `Z → (X, Y)`.
+    pub fn tangents(self) -> (Axis, Axis) {
+        match self {
+            Axis::X => (Axis::Y, Axis::Z),
+            Axis::Y => (Axis::Z, Axis::X),
+            Axis::Z => (Axis::X, Axis::Y),
+        }
+    }
+
+    /// Index of the axis (X=0, Y=1, Z=2).
+    pub fn index(self) -> usize {
+        match self {
+            Axis::X => 0,
+            Axis::Y => 1,
+            Axis::Z => 2,
+        }
+    }
+
+    /// Axis from an index (0, 1 or 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 2`.
+    pub fn from_index(i: usize) -> Axis {
+        match i {
+            0 => Axis::X,
+            1 => Axis::Y,
+            2 => Axis::Z,
+            _ => panic!("axis index out of range: {i}"),
+        }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::X => write!(f, "x"),
+            Axis::Y => write!(f, "y"),
+            Axis::Z => write!(f, "z"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tangents_are_right_handed_cycle() {
+        for a in Axis::ALL {
+            let (u, v) = a.tangents();
+            assert_ne!(u, a);
+            assert_ne!(v, a);
+            assert_ne!(u, v);
+            // cyclic: index(u) = index(a)+1 mod 3
+            assert_eq!(u.index(), (a.index() + 1) % 3);
+            assert_eq!(v.index(), (a.index() + 2) % 3);
+        }
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for a in Axis::ALL {
+            assert_eq!(Axis::from_index(a.index()), a);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_index_panics() {
+        let _ = Axis::from_index(3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Axis::X), "x");
+        assert_eq!(format!("{}", Axis::Y), "y");
+        assert_eq!(format!("{}", Axis::Z), "z");
+    }
+}

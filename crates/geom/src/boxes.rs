@@ -1,0 +1,208 @@
+//! Axis-aligned boxes: the building block of Manhattan conductors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::axis::Axis;
+use crate::error::GeomError;
+use crate::panel::Panel;
+use crate::vec3::Point3;
+
+/// An axis-aligned rectangular box (cuboid) described by its two extreme
+/// corners.
+///
+/// Boxes are the primitive from which all conductors are built; a wire is a
+/// long thin box, a via a short stubby one. The six faces of a box are
+/// [`Panel`]s and form the boundary that the BEM discretizes.
+///
+/// ```
+/// use bemcap_geom::{Box3, Point3};
+/// let b = Box3::new(Point3::ZERO, Point3::new(1.0, 2.0, 3.0))?;
+/// assert_eq!(b.volume(), 6.0);
+/// assert_eq!(b.faces().len(), 6);
+/// # Ok::<(), bemcap_geom::GeomError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Box3 {
+    min: Point3,
+    max: Point3,
+}
+
+impl Box3 {
+    /// Creates a box from two opposite corners (in any order per axis).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::DegenerateBox`] when the box has zero extent on
+    /// any axis or a non-finite coordinate.
+    pub fn new(a: Point3, b: Point3) -> Result<Box3, GeomError> {
+        let min = a.min(b);
+        let max = a.max(b);
+        let ok = min.is_finite()
+            && max.is_finite()
+            && max.x > min.x
+            && max.y > min.y
+            && max.z > min.z;
+        if !ok {
+            return Err(GeomError::DegenerateBox { detail: format!("corners {a} and {b}") });
+        }
+        Ok(Box3 { min, max })
+    }
+
+    /// Convenience constructor from coordinate bounds.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Box3::new`].
+    pub fn from_bounds(
+        x: (f64, f64),
+        y: (f64, f64),
+        z: (f64, f64),
+    ) -> Result<Box3, GeomError> {
+        Box3::new(Point3::new(x.0, y.0, z.0), Point3::new(x.1, y.1, z.1))
+    }
+
+    /// Minimum corner.
+    pub fn min(&self) -> Point3 {
+        self.min
+    }
+
+    /// Maximum corner.
+    pub fn max(&self) -> Point3 {
+        self.max
+    }
+
+    /// Box center.
+    pub fn center(&self) -> Point3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Extent along `axis`.
+    pub fn extent(&self, axis: Axis) -> f64 {
+        self.max.component(axis) - self.min.component(axis)
+    }
+
+    /// Volume.
+    pub fn volume(&self) -> f64 {
+        self.extent(Axis::X) * self.extent(Axis::Y) * self.extent(Axis::Z)
+    }
+
+    /// Total surface area of the six faces.
+    pub fn surface_area(&self) -> f64 {
+        let (dx, dy, dz) = (self.extent(Axis::X), self.extent(Axis::Y), self.extent(Axis::Z));
+        2.0 * (dx * dy + dy * dz + dz * dx)
+    }
+
+    /// The six boundary faces as panels.
+    ///
+    /// Faces come in pairs per axis: the low face first, then the high face.
+    pub fn faces(&self) -> Vec<Panel> {
+        let mut out = Vec::with_capacity(6);
+        for normal in Axis::ALL {
+            let (ua, va) = normal.tangents();
+            let u = (self.min.component(ua), self.max.component(ua));
+            let v = (self.min.component(va), self.max.component(va));
+            for w in [self.min.component(normal), self.max.component(normal)] {
+                out.push(
+                    Panel::new(normal, w, u, v)
+                        .expect("non-degenerate box produces non-degenerate faces"),
+                );
+            }
+        }
+        out
+    }
+
+    /// `true` if `p` lies inside or on the boundary of the box.
+    pub fn contains(&self, p: Point3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// `true` if the interiors of the two boxes intersect.
+    pub fn intersects(&self, other: &Box3) -> bool {
+        self.min.x < other.max.x
+            && other.min.x < self.max.x
+            && self.min.y < other.max.y
+            && other.min.y < self.max.y
+            && self.min.z < other.max.z
+            && other.min.z < self.max.z
+    }
+
+    /// Translates the box by `d`.
+    pub fn translated(&self, d: Point3) -> Box3 {
+        Box3 { min: self.min + d, max: self.max + d }
+    }
+}
+
+impl fmt::Display for Box3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "box[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b123() -> Box3 {
+        Box3::new(Point3::ZERO, Point3::new(1.0, 2.0, 3.0)).unwrap()
+    }
+
+    #[test]
+    fn corners_normalized() {
+        let b = Box3::new(Point3::new(1.0, 2.0, 3.0), Point3::ZERO).unwrap();
+        assert_eq!(b.min(), Point3::ZERO);
+        assert_eq!(b.max(), Point3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn metrics() {
+        let b = b123();
+        assert_eq!(b.volume(), 6.0);
+        assert_eq!(b.surface_area(), 2.0 * (2.0 + 6.0 + 3.0));
+        assert_eq!(b.center(), Point3::new(0.5, 1.0, 1.5));
+        assert_eq!(b.extent(Axis::Z), 3.0);
+    }
+
+    #[test]
+    fn six_faces_cover_surface() {
+        let b = b123();
+        let faces = b.faces();
+        assert_eq!(faces.len(), 6);
+        let total: f64 = faces.iter().map(Panel::area).sum();
+        assert!((total - b.surface_area()).abs() < 1e-12);
+        // Each axis contributes exactly two faces.
+        for axis in Axis::ALL {
+            assert_eq!(faces.iter().filter(|p| p.normal() == axis).count(), 2);
+        }
+    }
+
+    #[test]
+    fn containment() {
+        let b = b123();
+        assert!(b.contains(b.center()));
+        assert!(b.contains(b.min()));
+        assert!(!b.contains(Point3::new(2.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = b123();
+        let b = a.translated(Point3::new(0.5, 0.0, 0.0));
+        let c = a.translated(Point3::new(5.0, 0.0, 0.0));
+        let d = a.translated(Point3::new(1.0, 0.0, 0.0)); // touching faces only
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(!a.intersects(&d));
+    }
+
+    #[test]
+    fn degenerate_rejected() {
+        assert!(Box3::new(Point3::ZERO, Point3::new(0.0, 1.0, 1.0)).is_err());
+        assert!(Box3::new(Point3::ZERO, Point3::new(f64::NAN, 1.0, 1.0)).is_err());
+    }
+}

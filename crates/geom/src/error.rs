@@ -1,0 +1,69 @@
+//! Error types for the geometry layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or parsing geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeomError {
+    /// A panel with empty, inverted or non-finite extent was requested.
+    DegeneratePanel {
+        /// Human-readable description of the offending panel.
+        detail: String,
+    },
+    /// A box with empty, inverted or non-finite extent was requested.
+    DegenerateBox {
+        /// Human-readable description of the offending box.
+        detail: String,
+    },
+    /// A geometry description file could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A conductor name was referenced but never declared.
+    UnknownConductor {
+        /// The missing name.
+        name: String,
+    },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::DegeneratePanel { detail } => {
+                write!(f, "degenerate panel: {detail}")
+            }
+            GeomError::DegenerateBox { detail } => write!(f, "degenerate box: {detail}"),
+            GeomError::Parse { line, detail } => {
+                write!(f, "geometry parse error at line {line}: {detail}")
+            }
+            GeomError::UnknownConductor { name } => {
+                write!(f, "unknown conductor name: {name}")
+            }
+        }
+    }
+}
+
+impl Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GeomError::Parse { line: 3, detail: "bad token".into() };
+        assert!(format!("{e}").contains("line 3"));
+        let e = GeomError::UnknownConductor { name: "m1".into() };
+        assert!(format!("{e}").contains("m1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeomError>();
+    }
+}

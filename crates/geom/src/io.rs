@@ -1,0 +1,168 @@
+//! A small text format for geometry description files.
+//!
+//! The paper's flowcharts (Figs. 4 and 6) start from an "input file" holding
+//! the structure description. We define a minimal line-oriented format:
+//!
+//! ```text
+//! # comment
+//! eps_rel 3.9
+//! conductor net0
+//! box 0.0 0.0 0.0   10.0 1.0 1.0
+//! conductor net1
+//! box 0.0 -5.0 2.0  1.0 5.0 3.0
+//! ```
+//!
+//! `box` lines give the two extreme corners (x0 y0 z0 x1 y1 z1) and attach to
+//! the most recently declared conductor.
+//!
+//! ```
+//! use bemcap_geom::io;
+//! let text = "conductor a\nbox 0 0 0 1 1 1\n";
+//! let geo = io::parse_geometry(text)?;
+//! assert_eq!(geo.conductor_count(), 1);
+//! # Ok::<(), bemcap_geom::GeomError>(())
+//! ```
+
+use crate::boxes::Box3;
+use crate::conductor::{Conductor, Geometry};
+use crate::error::GeomError;
+use crate::vec3::Point3;
+use std::fmt::Write as _;
+
+/// Parses the text geometry format described in the module docs.
+///
+/// # Errors
+///
+/// Returns [`GeomError::Parse`] with a line number on any malformed line,
+/// and [`GeomError::DegenerateBox`] if a box has no volume.
+pub fn parse_geometry(text: &str) -> Result<Geometry, GeomError> {
+    let mut conductors: Vec<Conductor> = Vec::new();
+    let mut eps_rel = 1.0;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let n = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        match tok.next() {
+            Some("eps_rel") => {
+                let v = tok
+                    .next()
+                    .ok_or_else(|| parse_err(n, "eps_rel needs a value"))?
+                    .parse::<f64>()
+                    .map_err(|e| parse_err(n, &format!("bad eps_rel: {e}")))?;
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(parse_err(n, "eps_rel must be positive"));
+                }
+                eps_rel = v;
+            }
+            Some("conductor") => {
+                let name =
+                    tok.next().ok_or_else(|| parse_err(n, "conductor needs a name"))?;
+                conductors.push(Conductor::new(name));
+            }
+            Some("box") => {
+                let c = conductors
+                    .last_mut()
+                    .ok_or_else(|| parse_err(n, "box before any conductor"))?;
+                let mut vals = [0.0_f64; 6];
+                for v in vals.iter_mut() {
+                    *v = tok
+                        .next()
+                        .ok_or_else(|| parse_err(n, "box needs 6 coordinates"))?
+                        .parse::<f64>()
+                        .map_err(|e| parse_err(n, &format!("bad coordinate: {e}")))?;
+                }
+                if tok.next().is_some() {
+                    return Err(parse_err(n, "box takes exactly 6 coordinates"));
+                }
+                let b = Box3::new(
+                    Point3::new(vals[0], vals[1], vals[2]),
+                    Point3::new(vals[3], vals[4], vals[5]),
+                )?;
+                c.push_box(b);
+            }
+            Some(other) => {
+                return Err(parse_err(n, &format!("unknown directive '{other}'")));
+            }
+            None => unreachable!("non-empty line has a first token"),
+        }
+    }
+    if conductors.is_empty() {
+        return Err(parse_err(0, "no conductors declared"));
+    }
+    Ok(Geometry::new(conductors).with_eps_rel(eps_rel))
+}
+
+fn parse_err(line: usize, detail: &str) -> GeomError {
+    GeomError::Parse { line, detail: detail.to_string() }
+}
+
+/// Serializes a geometry back to the text format; `parse_geometry` of the
+/// output reproduces the input geometry.
+pub fn write_geometry(geo: &Geometry) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "eps_rel {}", geo.eps_rel());
+    for c in geo.conductors() {
+        let _ = writeln!(out, "conductor {}", c.name());
+        for b in c.boxes() {
+            let (lo, hi) = (b.min(), b.max());
+            let _ = writeln!(
+                out,
+                "box {} {} {} {} {} {}",
+                lo.x, lo.y, lo.z, hi.x, hi.y, hi.z
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structures;
+
+    #[test]
+    fn round_trip() {
+        let geo = structures::bus_crossing(2, 3, structures::BusParams::default())
+            .with_eps_rel(3.9);
+        let text = write_geometry(&geo);
+        let back = parse_geometry(&text).unwrap();
+        assert_eq!(back.conductor_count(), geo.conductor_count());
+        assert!((back.eps_rel() - 3.9).abs() < 1e-12);
+        assert_eq!(back.bounds(), geo.bounds());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let g = parse_geometry("# hi\n\nconductor a\nbox 0 0 0 1 1 1\n").unwrap();
+        assert_eq!(g.conductor_count(), 1);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            parse_geometry("box 0 0 0 1 1 1"),
+            Err(GeomError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_geometry("conductor a\nbox 0 0 0 1 1"),
+            Err(GeomError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_geometry("conductor a\nbox 0 0 0 1 1 1 9"),
+            Err(GeomError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(parse_geometry("wat"), Err(GeomError::Parse { line: 1, .. })));
+        assert!(parse_geometry("").is_err());
+        assert!(matches!(
+            parse_geometry("conductor a\nbox 0 0 0 0 1 1"),
+            Err(GeomError::DegenerateBox { .. })
+        ));
+        assert!(matches!(
+            parse_geometry("eps_rel -2\nconductor a\nbox 0 0 0 1 1 1"),
+            Err(GeomError::Parse { line: 1, .. })
+        ));
+    }
+}

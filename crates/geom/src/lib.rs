@@ -1,0 +1,41 @@
+//! # bemcap-geom — Manhattan 3-D geometry substrate
+//!
+//! Geometry layer for the `bemcap` capacitance-extraction workspace: points,
+//! axis-aligned panels, conductors made of rectangular boxes, surface meshing,
+//! and generators for the structures used in the paper's evaluation
+//! (crossing wires of Fig. 1, the 24×24 bus and transistor interconnect of
+//! Fig. 7).
+//!
+//! All geometry is *Manhattan*: every conductor is a union of axis-aligned
+//! boxes and every surface panel is an axis-aligned rectangle. This is the
+//! same assumption the paper makes for instantiable basis functions (§2.2).
+//!
+//! ```
+//! use bemcap_geom::{structures, Mesh};
+//!
+//! let geo = structures::parallel_plates(1e-6, 1e-6, 0.2e-6);
+//! let mesh = Mesh::uniform(&geo, 8);
+//! assert_eq!(geo.conductor_count(), 2);
+//! assert!(mesh.panel_count() > 0);
+//! ```
+
+pub mod axis;
+pub mod boxes;
+pub mod conductor;
+pub mod error;
+pub mod io;
+pub mod mesh;
+pub mod panel;
+pub mod structures;
+pub mod vec3;
+
+pub use axis::Axis;
+pub use boxes::Box3;
+pub use conductor::{Conductor, Geometry};
+pub use error::GeomError;
+pub use mesh::{Mesh, MeshPanel};
+pub use panel::{Panel, PanelRelation};
+pub use vec3::Point3;
+
+/// Vacuum permittivity in SI units (F/m).
+pub const EPS0: f64 = 8.854_187_817e-12;

@@ -1,0 +1,161 @@
+//! Surface meshing: turning conductor faces into boundary-element panels.
+
+use serde::{Deserialize, Serialize};
+
+use crate::conductor::Geometry;
+use crate::panel::Panel;
+
+/// A mesh panel: a [`Panel`] tagged with the conductor that owns it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeshPanel {
+    /// The geometric panel.
+    pub panel: Panel,
+    /// Index of the owning conductor within the source [`Geometry`].
+    pub conductor: usize,
+}
+
+/// A boundary-element surface mesh: the discretization used by the
+/// piecewise-constant baseline solvers (dense Galerkin, FMM, pFFT).
+///
+/// The instantiable-basis solver does *not* need a fine mesh — that is the
+/// whole point of the paper — but the reference solutions (FASTCAP-style)
+/// and the template-calibration machinery do.
+///
+/// ```
+/// use bemcap_geom::{structures, Mesh};
+/// let geo = structures::parallel_plates(1.0, 1.0, 0.2);
+/// let mesh = Mesh::uniform(&geo, 4);
+/// // two plates, 6 faces each, 4x4 panels per square face (thin faces get fewer)
+/// assert!(mesh.panel_count() >= 2 * 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mesh {
+    panels: Vec<MeshPanel>,
+    conductor_count: usize,
+    target_edge: f64,
+}
+
+impl Mesh {
+    /// Meshes `geo` so that the *longest* face edge in the geometry is split
+    /// into `n` divisions; every face edge is split proportionally so all
+    /// panels have roughly the same edge length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn uniform(geo: &Geometry, n: usize) -> Mesh {
+        assert!(n > 0, "division count must be positive");
+        let longest = geo
+            .faces_with_conductor()
+            .iter()
+            .map(|(_, f)| f.u_len().max(f.v_len()))
+            .fold(0.0_f64, f64::max);
+        Mesh::with_target_edge(geo, longest / n as f64)
+    }
+
+    /// Meshes `geo` so every panel edge is at most `target_edge` long.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_edge` is not a positive finite number.
+    pub fn with_target_edge(geo: &Geometry, target_edge: f64) -> Mesh {
+        assert!(
+            target_edge.is_finite() && target_edge > 0.0,
+            "target edge must be positive and finite"
+        );
+        let mut panels = Vec::new();
+        for (ci, face) in geo.faces_with_conductor() {
+            let nu = (face.u_len() / target_edge).ceil().max(1.0) as usize;
+            let nv = (face.v_len() / target_edge).ceil().max(1.0) as usize;
+            for sub in face.subdivide(nu, nv) {
+                panels.push(MeshPanel { panel: sub, conductor: ci });
+            }
+        }
+        Mesh { panels, conductor_count: geo.conductor_count(), target_edge }
+    }
+
+    /// Returns a finer mesh of the same geometry with the target edge shrunk
+    /// by `factor` (> 1). This is the refinement step of the FASTCAP
+    /// reference loop in §6 ("refining the discretization by 10% for each
+    /// iteration").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor <= 1.0`.
+    pub fn refined(&self, geo: &Geometry, factor: f64) -> Mesh {
+        assert!(factor > 1.0, "refinement factor must exceed 1");
+        Mesh::with_target_edge(geo, self.target_edge / factor)
+    }
+
+    /// The panels.
+    pub fn panels(&self) -> &[MeshPanel] {
+        &self.panels
+    }
+
+    /// Number of panels (the BEM system size N for piecewise-constant bases).
+    pub fn panel_count(&self) -> usize {
+        self.panels.len()
+    }
+
+    /// Number of conductors in the source geometry.
+    pub fn conductor_count(&self) -> usize {
+        self.conductor_count
+    }
+
+    /// The target edge length this mesh was built with.
+    pub fn target_edge(&self) -> f64 {
+        self.target_edge
+    }
+
+    /// Total meshed surface area.
+    pub fn total_area(&self) -> f64 {
+        self.panels.iter().map(|p| p.panel.area()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structures;
+
+    #[test]
+    fn uniform_mesh_preserves_area() {
+        let geo = structures::parallel_plates(1.0, 2.0, 0.5);
+        let coarse = Mesh::uniform(&geo, 2);
+        let fine = Mesh::uniform(&geo, 8);
+        let area: f64 = geo.conductors().iter().map(|c| c.surface_area()).sum();
+        assert!((coarse.total_area() - area).abs() < 1e-12 * area);
+        assert!((fine.total_area() - area).abs() < 1e-12 * area);
+        assert!(fine.panel_count() > coarse.panel_count());
+    }
+
+    #[test]
+    fn refinement_increases_panel_count() {
+        let geo = structures::parallel_plates(1.0, 1.0, 0.2);
+        let m = Mesh::uniform(&geo, 3);
+        let r = m.refined(&geo, 1.1);
+        assert!(r.panel_count() >= m.panel_count());
+        assert!(r.target_edge() < m.target_edge());
+    }
+
+    #[test]
+    fn conductor_tags_are_valid() {
+        let geo = structures::bus_crossing(3, 3, structures::BusParams::default());
+        let m = Mesh::uniform(&geo, 4);
+        assert_eq!(m.conductor_count(), 6);
+        for p in m.panels() {
+            assert!(p.conductor < 6);
+        }
+        // every conductor owns at least one panel
+        for c in 0..6 {
+            assert!(m.panels().iter().any(|p| p.conductor == c));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_divisions_panic() {
+        let geo = structures::parallel_plates(1.0, 1.0, 0.2);
+        let _ = Mesh::uniform(&geo, 0);
+    }
+}

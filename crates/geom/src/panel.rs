@@ -1,0 +1,269 @@
+//! Axis-aligned rectangular surface panels.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::axis::Axis;
+use crate::error::GeomError;
+use crate::vec3::Point3;
+
+/// Spatial relation between two Manhattan panels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PanelRelation {
+    /// Panels lie in the same plane (same normal axis and same plane offset).
+    Coplanar,
+    /// Panels have the same normal axis but different plane offsets.
+    Parallel,
+    /// Panels have different normal axes.
+    Perpendicular,
+}
+
+/// An axis-aligned rectangular panel.
+///
+/// The panel is normal to [`Panel::normal`]; its plane sits at coordinate
+/// [`Panel::w`] along that axis. The in-plane extent is the rectangle
+/// `[u0, u1] × [v0, v1]` in the coordinates of the two tangent axes returned
+/// by [`Axis::tangents`].
+///
+/// This representation makes the collocation/Galerkin integrals of the
+/// `bemcap-quad` crate directly expressible in the panel's own (u, v, w)
+/// frame, which is where the closed-form expressions of the paper's §4 live.
+///
+/// ```
+/// use bemcap_geom::{Axis, Panel};
+/// let p = Panel::new(Axis::Z, 0.0, (0.0, 2.0), (0.0, 3.0))?;
+/// assert_eq!(p.area(), 6.0);
+/// # Ok::<(), bemcap_geom::GeomError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Panel {
+    normal: Axis,
+    w: f64,
+    u0: f64,
+    u1: f64,
+    v0: f64,
+    v1: f64,
+}
+
+impl Panel {
+    /// Creates a panel normal to `normal` at plane offset `w`, spanning
+    /// `u_range × v_range` in the tangent axes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::DegeneratePanel`] if either range is empty,
+    /// inverted or non-finite.
+    pub fn new(
+        normal: Axis,
+        w: f64,
+        u_range: (f64, f64),
+        v_range: (f64, f64),
+    ) -> Result<Panel, GeomError> {
+        let (u0, u1) = u_range;
+        let (v0, v1) = v_range;
+        let ok = u1 > u0 && v1 > v0 && [w, u0, u1, v0, v1].iter().all(|x| x.is_finite());
+        if !ok {
+            return Err(GeomError::DegeneratePanel {
+                detail: format!("normal={normal} w={w} u=[{u0},{u1}] v=[{v0},{v1}]"),
+            });
+        }
+        Ok(Panel { normal, w, u0, u1, v0, v1 })
+    }
+
+    /// Normal axis.
+    pub fn normal(&self) -> Axis {
+        self.normal
+    }
+
+    /// Plane offset along the normal axis.
+    pub fn w(&self) -> f64 {
+        self.w
+    }
+
+    /// In-plane u range (first tangent axis).
+    pub fn u_range(&self) -> (f64, f64) {
+        (self.u0, self.u1)
+    }
+
+    /// In-plane v range (second tangent axis).
+    pub fn v_range(&self) -> (f64, f64) {
+        (self.v0, self.v1)
+    }
+
+    /// Side length along the first tangent axis.
+    pub fn u_len(&self) -> f64 {
+        self.u1 - self.u0
+    }
+
+    /// Side length along the second tangent axis.
+    pub fn v_len(&self) -> f64 {
+        self.v1 - self.v0
+    }
+
+    /// Panel area.
+    pub fn area(&self) -> f64 {
+        self.u_len() * self.v_len()
+    }
+
+    /// Diagonal length — used as the size scale for the approximation
+    /// distances of §4.1.
+    pub fn diameter(&self) -> f64 {
+        (self.u_len().powi(2) + self.v_len().powi(2)).sqrt()
+    }
+
+    /// Panel centroid in 3-D.
+    pub fn center(&self) -> Point3 {
+        self.point_at(0.5 * (self.u0 + self.u1), 0.5 * (self.v0 + self.v1))
+    }
+
+    /// Maps in-plane coordinates (u, v) to a 3-D point on the panel plane.
+    pub fn point_at(&self, u: f64, v: f64) -> Point3 {
+        let (ua, va) = self.normal.tangents();
+        Point3::ZERO
+            .with_component(self.normal, self.w)
+            .with_component(ua, u)
+            .with_component(va, v)
+    }
+
+    /// The four corners, counter-clockwise when viewed from +normal.
+    pub fn corners(&self) -> [Point3; 4] {
+        [
+            self.point_at(self.u0, self.v0),
+            self.point_at(self.u1, self.v0),
+            self.point_at(self.u1, self.v1),
+            self.point_at(self.u0, self.v1),
+        ]
+    }
+
+    /// Classifies the spatial relation with another panel.
+    pub fn relation(&self, other: &Panel) -> PanelRelation {
+        if self.normal != other.normal {
+            PanelRelation::Perpendicular
+        } else if self.w == other.w {
+            PanelRelation::Coplanar
+        } else {
+            PanelRelation::Parallel
+        }
+    }
+
+    /// Center-to-center distance between two panels.
+    pub fn center_distance(&self, other: &Panel) -> f64 {
+        self.center().distance(other.center())
+    }
+
+    /// Splits the panel into a `nu × nv` uniform grid of sub-panels,
+    /// ordered v-major then u.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nu` or `nv` is zero.
+    pub fn subdivide(&self, nu: usize, nv: usize) -> Vec<Panel> {
+        assert!(nu > 0 && nv > 0, "subdivision counts must be positive");
+        let du = self.u_len() / nu as f64;
+        let dv = self.v_len() / nv as f64;
+        let mut out = Vec::with_capacity(nu * nv);
+        for j in 0..nv {
+            for i in 0..nu {
+                // Compute edges from the panel bounds so the tiling is exact
+                // at the outer boundary regardless of rounding.
+                let ua = self.u0 + du * i as f64;
+                let ub = if i + 1 == nu { self.u1 } else { self.u0 + du * (i + 1) as f64 };
+                let va = self.v0 + dv * j as f64;
+                let vb = if j + 1 == nv { self.v1 } else { self.v0 + dv * (j + 1) as f64 };
+                out.push(Panel { normal: self.normal, w: self.w, u0: ua, u1: ub, v0: va, v1: vb });
+            }
+        }
+        out
+    }
+
+    /// Axis-aligned bounding box as (min, max) corners.
+    pub fn bounds(&self) -> (Point3, Point3) {
+        let lo = self.point_at(self.u0, self.v0);
+        let hi = self.point_at(self.u1, self.v1);
+        (lo.min(hi), lo.max(hi))
+    }
+}
+
+impl fmt::Display for Panel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "panel(n={}, w={:.3e}, u=[{:.3e},{:.3e}], v=[{:.3e},{:.3e}])",
+            self.normal, self.w, self.u0, self.u1, self.v0, self.v1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_panel() -> Panel {
+        Panel::new(Axis::Z, 1.0, (0.0, 2.0), (0.0, 4.0)).unwrap()
+    }
+
+    #[test]
+    fn area_and_lengths() {
+        let p = unit_panel();
+        assert_eq!(p.u_len(), 2.0);
+        assert_eq!(p.v_len(), 4.0);
+        assert_eq!(p.area(), 8.0);
+        assert!((p.diameter() - 20.0_f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn center_and_points() {
+        let p = unit_panel();
+        assert_eq!(p.center(), Point3::new(1.0, 2.0, 1.0));
+        assert_eq!(p.point_at(0.0, 0.0), Point3::new(0.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn corners_lie_on_plane() {
+        let p = Panel::new(Axis::X, -0.5, (1.0, 2.0), (3.0, 5.0)).unwrap();
+        for c in p.corners() {
+            assert_eq!(c.x, -0.5);
+        }
+        // tangents of X are (Y, Z): u is y, v is z.
+        assert_eq!(p.corners()[0], Point3::new(-0.5, 1.0, 3.0));
+        assert_eq!(p.corners()[2], Point3::new(-0.5, 2.0, 5.0));
+    }
+
+    #[test]
+    fn degenerate_rejected() {
+        assert!(Panel::new(Axis::Z, 0.0, (1.0, 1.0), (0.0, 1.0)).is_err());
+        assert!(Panel::new(Axis::Z, 0.0, (2.0, 1.0), (0.0, 1.0)).is_err());
+        assert!(Panel::new(Axis::Z, f64::NAN, (0.0, 1.0), (0.0, 1.0)).is_err());
+    }
+
+    #[test]
+    fn relations() {
+        let a = Panel::new(Axis::Z, 0.0, (0.0, 1.0), (0.0, 1.0)).unwrap();
+        let b = Panel::new(Axis::Z, 0.0, (2.0, 3.0), (0.0, 1.0)).unwrap();
+        let c = Panel::new(Axis::Z, 1.0, (0.0, 1.0), (0.0, 1.0)).unwrap();
+        let d = Panel::new(Axis::X, 0.0, (0.0, 1.0), (0.0, 1.0)).unwrap();
+        assert_eq!(a.relation(&b), PanelRelation::Coplanar);
+        assert_eq!(a.relation(&c), PanelRelation::Parallel);
+        assert_eq!(a.relation(&d), PanelRelation::Perpendicular);
+    }
+
+    #[test]
+    fn subdivision_tiles_exactly() {
+        let p = unit_panel();
+        let subs = p.subdivide(3, 5);
+        assert_eq!(subs.len(), 15);
+        let total: f64 = subs.iter().map(Panel::area).sum();
+        assert!((total - p.area()).abs() < 1e-12);
+        // Outer boundary preserved exactly.
+        let umin = subs.iter().map(|s| s.u_range().0).fold(f64::INFINITY, f64::min);
+        let umax = subs.iter().map(|s| s.u_range().1).fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!((umin, umax), p.u_range());
+    }
+
+    #[test]
+    fn bounds_ordering() {
+        let p = unit_panel();
+        let (lo, hi) = p.bounds();
+        assert!(lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z);
+    }
+}

@@ -1,0 +1,448 @@
+//! Generators for the benchmark structures of the paper's evaluation.
+//!
+//! * [`crossing_wires`] — the elementary two-wire crossing of Fig. 1, used to
+//!   extract the flat/arch template shapes of Fig. 2;
+//! * [`bus_crossing`] — the m×n crossing bus of Fig. 7 (right), the workload
+//!   of Table 3 and Fig. 8;
+//! * [`transistor_interconnect`] — a synthetic stand-in for the
+//!   industry-provided transistor interconnect of Fig. 7 (left), used by
+//!   Table 2 (see DESIGN.md §3 for the substitution rationale);
+//! * plus simple calibration shapes (plates, cube).
+
+use crate::boxes::Box3;
+use crate::conductor::{Conductor, Geometry};
+use crate::vec3::Point3;
+
+/// Default metal half-pitch used by the generators, 1 µm in meters — the
+/// same length scale as the paper's figures.
+pub const DEFAULT_SCALE: f64 = 1.0e-6;
+
+/// Two square parallel plates of size `w × l`, thickness `w/20`, separated
+/// by `gap` along z. Conductor 0 is the bottom plate.
+pub fn parallel_plates(w: f64, l: f64, gap: f64) -> Geometry {
+    let t = 0.05 * w;
+    let bottom = Conductor::new("bottom").with_box(
+        Box3::from_bounds((0.0, w), (0.0, l), (-t, 0.0)).expect("valid plate box"),
+    );
+    let top = Conductor::new("top").with_box(
+        Box3::from_bounds((0.0, w), (0.0, l), (gap, gap + t)).expect("valid plate box"),
+    );
+    Geometry::new(vec![bottom, top])
+}
+
+/// A single thin square plate of side `side` centered at the origin —
+/// the classic validation case (C ≈ 0.3667 · 4πε₀ · side for a thin plate).
+pub fn single_plate(side: f64) -> Geometry {
+    let h = side / 2.0;
+    let t = side / 100.0;
+    let plate = Conductor::new("plate")
+        .with_box(Box3::from_bounds((-h, h), (-h, h), (0.0, t)).expect("valid plate box"));
+    Geometry::new(vec![plate])
+}
+
+/// A solid cube of side `side` with its minimum corner at the origin —
+/// validation case (C ≈ 0.6607 · 4πε₀ · side).
+pub fn cube(side: f64) -> Geometry {
+    let c = Conductor::new("cube").with_box(
+        Box3::from_bounds((0.0, side), (0.0, side), (0.0, side)).expect("valid cube box"),
+    );
+    Geometry::new(vec![c])
+}
+
+/// Parameters for [`crossing_wires`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossingParams {
+    /// Wire width (both wires).
+    pub width: f64,
+    /// Wire thickness (vertical extent).
+    pub thickness: f64,
+    /// Wire length (both wires).
+    pub length: f64,
+    /// Vertical separation `h` between the top of the bottom wire and the
+    /// bottom of the top wire — the `h` of Fig. 1 / Fig. 2.
+    pub separation: f64,
+}
+
+impl Default for CrossingParams {
+    fn default() -> Self {
+        CrossingParams {
+            width: DEFAULT_SCALE,
+            thickness: 0.5 * DEFAULT_SCALE,
+            length: 10.0 * DEFAULT_SCALE,
+            separation: 0.5 * DEFAULT_SCALE,
+        }
+    }
+}
+
+/// The elementary crossing-wire pair of Fig. 1.
+///
+/// Conductor 0 (`target`) runs along x at the bottom; conductor 1 (`source`)
+/// runs along y above it, crossing at the origin. The top face of the target
+/// wire is at z = 0; the source wire's bottom face is at z = `separation`.
+pub fn crossing_wires(p: CrossingParams) -> Geometry {
+    let hw = p.width / 2.0;
+    let hl = p.length / 2.0;
+    let target = Conductor::new("target").with_box(
+        Box3::from_bounds((-hl, hl), (-hw, hw), (-p.thickness, 0.0)).expect("valid wire box"),
+    );
+    let source = Conductor::new("source").with_box(
+        Box3::from_bounds((-hw, hw), (-hl, hl), (p.separation, p.separation + p.thickness))
+            .expect("valid wire box"),
+    );
+    Geometry::new(vec![target, source])
+}
+
+/// Parameters for [`bus_crossing`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusParams {
+    /// Wire width.
+    pub width: f64,
+    /// Center-to-center pitch between adjacent bus wires.
+    pub pitch: f64,
+    /// Wire thickness.
+    pub thickness: f64,
+    /// Vertical gap between the two bus layers.
+    pub layer_gap: f64,
+    /// Extra wire length beyond the crossing region on each side.
+    pub overhang: f64,
+}
+
+impl Default for BusParams {
+    fn default() -> Self {
+        BusParams {
+            width: DEFAULT_SCALE,
+            pitch: 2.0 * DEFAULT_SCALE,
+            thickness: 0.5 * DEFAULT_SCALE,
+            layer_gap: DEFAULT_SCALE,
+            overhang: 2.0 * DEFAULT_SCALE,
+        }
+    }
+}
+
+/// The m×n crossing-bus structure of Fig. 7 (right): `m` wires along x on the
+/// lower layer and `n` wires along y on the upper layer.
+///
+/// Conductors 0..m are the lower-layer wires, m..m+n the upper-layer wires.
+/// `bus_crossing(24, 24, ..)` is the Table 3 / Fig. 8 workload.
+///
+/// # Panics
+///
+/// Panics if `m == 0 || n == 0`.
+pub fn bus_crossing(m: usize, n: usize, p: BusParams) -> Geometry {
+    assert!(m > 0 && n > 0, "bus must have at least one wire per layer");
+    // Crossing region spans the pitch grid of the orthogonal layer.
+    let span_x = (n.saturating_sub(1)) as f64 * p.pitch + p.width + 2.0 * p.overhang;
+    let span_y = (m.saturating_sub(1)) as f64 * p.pitch + p.width + 2.0 * p.overhang;
+    let mut conductors = Vec::with_capacity(m + n);
+    // Lower layer: wires along x, stacked in y.
+    for i in 0..m {
+        let y0 = i as f64 * p.pitch;
+        conductors.push(
+            Conductor::new(format!("mx{i}")).with_box(
+                Box3::from_bounds(
+                    (-p.overhang, span_x - p.overhang),
+                    (y0, y0 + p.width),
+                    (0.0, p.thickness),
+                )
+                .expect("valid bus wire"),
+            ),
+        );
+    }
+    // Upper layer: wires along y, stacked in x.
+    let z1 = p.thickness + p.layer_gap;
+    for j in 0..n {
+        let x0 = j as f64 * p.pitch;
+        conductors.push(
+            Conductor::new(format!("my{j}")).with_box(
+                Box3::from_bounds(
+                    (x0, x0 + p.width),
+                    (-p.overhang, span_y - p.overhang),
+                    (z1, z1 + p.thickness),
+                )
+                .expect("valid bus wire"),
+            ),
+        );
+    }
+    Geometry::new(conductors)
+}
+
+/// Parameters for [`transistor_interconnect`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransistorParams {
+    /// Number of gate fingers.
+    pub fingers: usize,
+    /// Finger width (x extent of each finger).
+    pub finger_width: f64,
+    /// Finger length (y extent).
+    pub finger_length: f64,
+    /// Finger pitch.
+    pub finger_pitch: f64,
+    /// Metal thickness used on every layer.
+    pub thickness: f64,
+    /// Inter-layer vertical gap.
+    pub layer_gap: f64,
+}
+
+impl Default for TransistorParams {
+    fn default() -> Self {
+        TransistorParams {
+            fingers: 4,
+            finger_width: 0.5 * DEFAULT_SCALE,
+            finger_length: 6.0 * DEFAULT_SCALE,
+            finger_pitch: 1.5 * DEFAULT_SCALE,
+            thickness: 0.4 * DEFAULT_SCALE,
+            layer_gap: 0.6 * DEFAULT_SCALE,
+        }
+    }
+}
+
+/// Synthetic transistor-interconnect structure standing in for the
+/// industry-provided example of Fig. 7 (left).
+///
+/// Geometry: a fingered gate (poly) with all fingers on one net, source and
+/// drain straps interdigitated on a second and third net, an M1 output strap
+/// crossing the fingers, and an M2 rail crossing M1 — five nets, three
+/// routing levels, many Manhattan crossings. This reproduces the geometry
+/// *class* (dense Manhattan crossings in a uniform dielectric) that drives
+/// both FASTCAP-style and instantiable-basis solver behaviour.
+pub fn transistor_interconnect(p: TransistorParams) -> Geometry {
+    assert!(p.fingers >= 2, "need at least two fingers");
+    let t = p.thickness;
+    let mut gate = Conductor::new("gate");
+    let mut source = Conductor::new("source");
+    let mut drain = Conductor::new("drain");
+    // Gate fingers along y, on the lowest level.
+    for i in 0..p.fingers {
+        let x0 = i as f64 * p.finger_pitch;
+        gate.push_box(
+            Box3::from_bounds((x0, x0 + p.finger_width), (0.0, p.finger_length), (0.0, t))
+                .expect("valid finger"),
+        );
+    }
+    // Gate connecting bar at the -y end, slightly below the fingers' span.
+    let total_x = (p.fingers - 1) as f64 * p.finger_pitch + p.finger_width;
+    gate.push_box(
+        Box3::from_bounds(
+            (0.0, total_x),
+            (-1.5 * p.finger_width, -0.5 * p.finger_width),
+            (0.0, t),
+        )
+        .expect("valid gate bar"),
+    );
+    // Source/drain straps between fingers, alternating nets, same level,
+    // shortened so they do not touch the gate bar.
+    for i in 0..p.fingers.saturating_sub(1) {
+        let xa = i as f64 * p.finger_pitch + p.finger_width + 0.25 * p.finger_width;
+        let xb = (i + 1) as f64 * p.finger_pitch - 0.25 * p.finger_width;
+        let b = Box3::from_bounds((xa, xb), (0.5 * p.finger_width, p.finger_length), (0.0, t))
+            .expect("valid strap");
+        if i % 2 == 0 {
+            source.push_box(b);
+        } else {
+            drain.push_box(b);
+        }
+    }
+    // M1 output strap crossing all fingers above them.
+    let z1 = t + p.layer_gap;
+    let m1 = Conductor::new("m1").with_box(
+        Box3::from_bounds(
+            (-p.finger_width, total_x + p.finger_width),
+            (0.4 * p.finger_length, 0.4 * p.finger_length + 2.0 * p.finger_width),
+            (z1, z1 + t),
+        )
+        .expect("valid m1 strap"),
+    );
+    // M2 rail crossing M1, another level up, running along y.
+    let z2 = z1 + t + p.layer_gap;
+    let m2 = Conductor::new("m2").with_box(
+        Box3::from_bounds(
+            (0.45 * total_x, 0.45 * total_x + 2.0 * p.finger_width),
+            (-2.0 * p.finger_width, p.finger_length + 2.0 * p.finger_width),
+            (z2, z2 + t),
+        )
+        .expect("valid m2 rail"),
+    );
+    Geometry::new(vec![gate, source, drain, m1, m2])
+}
+
+/// A comb-drive-like interdigitated pair: two combs with `fingers` fingers
+/// each, interleaved with `gap` lateral spacing — a classic high-coupling
+/// extraction stress case (dominated by lateral, not crossing, coupling).
+///
+/// # Panics
+///
+/// Panics if `fingers == 0` or the dimensions are non-positive.
+pub fn interdigitated_combs(fingers: usize, finger_len: f64, width: f64, gap: f64) -> Geometry {
+    assert!(fingers > 0 && finger_len > 0.0 && width > 0.0 && gap > 0.0);
+    let pitch = 2.0 * (width + gap);
+    let t = width / 2.0;
+    let mut a = Conductor::new("comb_a");
+    let mut b = Conductor::new("comb_b");
+    // Spines.
+    let total = fingers as f64 * pitch + width;
+    a.push_box(
+        Box3::from_bounds((0.0, total), (-2.0 * width, -width), (0.0, t)).expect("spine a"),
+    );
+    b.push_box(
+        Box3::from_bounds(
+            (0.0, total),
+            (finger_len + width, finger_len + 2.0 * width),
+            (0.0, t),
+        )
+        .expect("spine b"),
+    );
+    for i in 0..fingers {
+        let xa = i as f64 * pitch;
+        let xb = xa + width + gap;
+        a.push_box(
+            Box3::from_bounds((xa, xa + width), (-width, finger_len), (0.0, t))
+                .expect("finger a"),
+        );
+        b.push_box(
+            Box3::from_bounds((xb, xb + width), (0.0, finger_len + width), (0.0, t))
+                .expect("finger b"),
+        );
+    }
+    Geometry::new(vec![a, b])
+}
+
+/// A signal plate over a larger ground plane at distance `gap` — the
+/// canonical "plate over ground" configuration whose coupling approaches
+/// ε·A/gap as the ground grows.
+pub fn plate_over_ground(plate: f64, ground: f64, gap: f64) -> Geometry {
+    let t = 0.05 * plate;
+    let g = Conductor::new("gnd").with_box(
+        Box3::from_bounds(
+            (-(ground / 2.0), ground / 2.0),
+            (-(ground / 2.0), ground / 2.0),
+            (-t, 0.0),
+        )
+        .expect("ground plane"),
+    );
+    let h = plate / 2.0;
+    let p = Conductor::new("sig").with_box(
+        Box3::from_bounds((-h, h), (-h, h), (gap, gap + t)).expect("signal plate"),
+    );
+    Geometry::new(vec![g, p])
+}
+
+/// Translates an entire geometry by `d` (useful for composing test scenes).
+pub fn translated(geo: &Geometry, d: Point3) -> Geometry {
+    let conductors = geo
+        .conductors()
+        .iter()
+        .map(|c| {
+            let mut nc = Conductor::new(c.name());
+            for b in c.boxes() {
+                nc.push_box(b.translated(d));
+            }
+            nc
+        })
+        .collect();
+    Geometry::new(conductors).with_eps_rel(geo.eps_rel())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axis::Axis;
+
+    #[test]
+    fn plates_are_separated() {
+        let g = parallel_plates(1.0, 1.0, 0.3);
+        assert_eq!(g.conductor_count(), 2);
+        let a = g.conductors()[0].boxes()[0];
+        let b = g.conductors()[1].boxes()[0];
+        assert!(!a.intersects(&b));
+        assert!((b.min().z - a.max().z - 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn crossing_wires_cross() {
+        let g = crossing_wires(CrossingParams::default());
+        let t = g.conductors()[0].boxes()[0];
+        let s = g.conductors()[1].boxes()[0];
+        assert!(!t.intersects(&s));
+        // They overlap in plan view at the origin.
+        assert!(t.contains(Point3::new(0.0, 0.0, t.max().z)));
+        assert!(s.contains(Point3::new(0.0, 0.0, s.min().z)));
+        // Separation as requested.
+        assert!((s.min().z - t.max().z - CrossingParams::default().separation).abs() < 1e-18);
+    }
+
+    #[test]
+    fn bus_counts_and_disjointness() {
+        let g = bus_crossing(4, 3, BusParams::default());
+        assert_eq!(g.conductor_count(), 7);
+        let boxes: Vec<_> = g.conductors().iter().flat_map(|c| c.boxes().iter()).collect();
+        for i in 0..boxes.len() {
+            for j in (i + 1)..boxes.len() {
+                assert!(!boxes[i].intersects(boxes[j]), "bus wires must not intersect");
+            }
+        }
+    }
+
+    #[test]
+    fn bus_24x24_scale() {
+        let g = bus_crossing(24, 24, BusParams::default());
+        assert_eq!(g.conductor_count(), 48);
+    }
+
+    #[test]
+    fn transistor_interconnect_is_disjoint() {
+        let g = transistor_interconnect(TransistorParams::default());
+        assert_eq!(g.conductor_count(), 5);
+        let boxes: Vec<_> = g
+            .conductors()
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, c)| c.boxes().iter().map(move |b| (ci, *b)))
+            .collect();
+        for i in 0..boxes.len() {
+            for j in (i + 1)..boxes.len() {
+                if boxes[i].0 != boxes[j].0 {
+                    assert!(
+                        !boxes[i].1.intersects(&boxes[j].1),
+                        "different nets must not intersect: {:?} vs {:?}",
+                        boxes[i],
+                        boxes[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn translation_moves_bounds() {
+        let g = cube(1.0);
+        let t = translated(&g, Point3::new(5.0, 0.0, 0.0));
+        assert_eq!(t.bounds().0, Point3::new(5.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn combs_interleave_without_touching() {
+        let g = interdigitated_combs(4, 10.0, 1.0, 0.5);
+        assert_eq!(g.conductor_count(), 2);
+        let a: Vec<_> = g.conductors()[0].boxes().to_vec();
+        let b: Vec<_> = g.conductors()[1].boxes().to_vec();
+        for ba in &a {
+            for bb in &b {
+                assert!(!ba.intersects(bb), "combs must not touch: {ba} vs {bb}");
+            }
+        }
+        // Fingers of b sit between fingers of a (x-interleaved).
+        assert_eq!(a.len(), 5); // spine + 4 fingers
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn plate_over_ground_dimensions() {
+        let g = plate_over_ground(1.0, 4.0, 0.2);
+        assert_eq!(g.conductor_count(), 2);
+        let gnd = g.conductors()[0].boxes()[0];
+        let sig = g.conductors()[1].boxes()[0];
+        assert!(gnd.extent(Axis::X) == 4.0 && sig.extent(Axis::X) == 1.0);
+        assert!((sig.min().z - 0.2).abs() < 1e-15);
+        assert!(!gnd.intersects(&sig));
+    }
+}

@@ -1,0 +1,242 @@
+//! 3-D points/vectors with the small set of operations the solver needs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Index, Mul, Neg, Sub, SubAssign};
+
+use crate::axis::Axis;
+
+/// A point (or free vector) in 3-D space, in meters.
+///
+/// `Point3` is deliberately a plain `f64` triple: the solver kernels are
+/// dominated by scalar arithmetic on coordinates and benefit from `Copy`
+/// semantics everywhere.
+///
+/// ```
+/// use bemcap_geom::Point3;
+/// let p = Point3::new(1.0, 2.0, 2.0);
+/// assert_eq!(p.norm(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point3 {
+    /// x coordinate (m).
+    pub x: f64,
+    /// y coordinate (m).
+    pub y: f64,
+    /// z coordinate (m).
+    pub z: f64,
+}
+
+impl Point3 {
+    /// Origin.
+    pub const ZERO: Point3 = Point3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a point from its coordinates.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Squared Euclidean norm (no square root).
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y + self.z * self.z
+    }
+
+    /// Distance to another point.
+    pub fn distance(self, other: Point3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Point3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Component along `axis`.
+    pub fn component(self, axis: Axis) -> f64 {
+        match axis {
+            Axis::X => self.x,
+            Axis::Y => self.y,
+            Axis::Z => self.z,
+        }
+    }
+
+    /// Returns a copy with the component along `axis` replaced by `value`.
+    pub fn with_component(mut self, axis: Axis, value: f64) -> Point3 {
+        match axis {
+            Axis::X => self.x = value,
+            Axis::Y => self.y = value,
+            Axis::Z => self.z = value,
+        }
+        self
+    }
+
+    /// Component-wise minimum.
+    pub fn min(self, other: Point3) -> Point3 {
+        Point3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, other: Point3) -> Point3 {
+        Point3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+    }
+
+    /// `true` when every coordinate is finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl fmt::Display for Point3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4e}, {:.4e}, {:.4e})", self.x, self.y, self.z)
+    }
+}
+
+impl Add for Point3 {
+    type Output = Point3;
+    fn add(self, rhs: Point3) -> Point3 {
+        Point3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Point3 {
+    fn add_assign(&mut self, rhs: Point3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Point3 {
+    type Output = Point3;
+    fn sub(self, rhs: Point3) -> Point3 {
+        Point3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Point3 {
+    fn sub_assign(&mut self, rhs: Point3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Point3 {
+    type Output = Point3;
+    fn mul(self, s: f64) -> Point3 {
+        Point3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Point3> for f64 {
+    type Output = Point3;
+    fn mul(self, p: Point3) -> Point3 {
+        p * self
+    }
+}
+
+impl Div<f64> for Point3 {
+    type Output = Point3;
+    fn div(self, s: f64) -> Point3 {
+        Point3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Point3 {
+    type Output = Point3;
+    fn neg(self) -> Point3 {
+        Point3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Index<Axis> for Point3 {
+    type Output = f64;
+    fn index(&self, axis: Axis) -> &f64 {
+        match axis {
+            Axis::X => &self.x,
+            Axis::Y => &self.y,
+            Axis::Z => &self.z,
+        }
+    }
+}
+
+impl From<[f64; 3]> for Point3 {
+    fn from(a: [f64; 3]) -> Self {
+        Point3::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<Point3> for [f64; 3] {
+    fn from(p: Point3) -> [f64; 3] {
+        [p.x, p.y, p.z]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(4.0, -2.0, 0.5);
+        assert_eq!(a + b, Point3::new(5.0, 0.0, 3.5));
+        assert_eq!(a - b, Point3::new(-3.0, 4.0, 2.5));
+        assert_eq!(a * 2.0, Point3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Point3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Point3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn norms_and_distance() {
+        let p = Point3::new(3.0, 4.0, 0.0);
+        assert_eq!(p.norm(), 5.0);
+        assert_eq!(p.norm_sq(), 25.0);
+        assert_eq!(p.distance(Point3::ZERO), 5.0);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(-1.0, 0.5, 2.0);
+        assert_eq!(a.dot(b), -1.0 + 1.0 + 6.0);
+    }
+
+    #[test]
+    fn component_access() {
+        let p = Point3::new(1.0, 2.0, 3.0);
+        assert_eq!(p.component(Axis::X), 1.0);
+        assert_eq!(p[Axis::Y], 2.0);
+        assert_eq!(p.with_component(Axis::Z, 9.0), Point3::new(1.0, 2.0, 9.0));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Point3::new(1.0, 5.0, 3.0);
+        let b = Point3::new(2.0, 4.0, 3.0);
+        assert_eq!(a.min(b), Point3::new(1.0, 4.0, 3.0));
+        assert_eq!(a.max(b), Point3::new(2.0, 5.0, 3.0));
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Point3 = [1.0, 2.0, 3.0].into();
+        let a: [f64; 3] = p.into();
+        assert_eq!(a, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Point3::new(1.0, 2.0, 3.0).is_finite());
+        assert!(!Point3::new(f64::NAN, 0.0, 0.0).is_finite());
+        assert!(!Point3::new(0.0, f64::INFINITY, 0.0).is_finite());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Point3::ZERO).is_empty());
+    }
+}

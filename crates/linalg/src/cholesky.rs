@@ -1,0 +1,185 @@
+//! Cholesky factorization for symmetric positive-definite systems.
+//!
+//! The Galerkin BEM matrix P of equation (3) is symmetric positive definite
+//! for well-posed geometries, so Cholesky is the natural direct solver — it
+//! halves both flops and memory traffic relative to LU.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// A lower-triangular Cholesky factor `A = L Lᵀ`.
+///
+/// ```
+/// use bemcap_linalg::{CholeskyFactor, Matrix};
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let ch = CholeskyFactor::new(&a)?;
+/// let x = ch.solve_vec(&[6.0, 5.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok::<(), bemcap_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CholeskyFactor {
+    l: Matrix,
+}
+
+impl CholeskyFactor {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] if `a` is not square;
+    /// * [`LinalgError::NotFinite`] on non-finite input;
+    /// * [`LinalgError::NotPositiveDefinite`] when a diagonal pivot is
+    ///   non-positive.
+    pub fn new(a: &Matrix) -> Result<CholeskyFactor, LinalgError> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky",
+                detail: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NotFinite);
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut acc = a.get(i, j);
+                for k in 0..j {
+                    acc -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if acc <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite { index: i });
+                    }
+                    l.set(i, i, acc.sqrt());
+                } else {
+                    l.set(i, j, acc / l.get(j, j));
+                }
+            }
+        }
+        Ok(CholeskyFactor { l })
+    }
+
+    /// System dimension.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// The lower-triangular factor L.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.len() != dim()`.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky_solve",
+                detail: format!("rhs length {} != {n}", b.len()),
+            });
+        }
+        let mut x = b.to_vec();
+        // L y = b
+        for i in 0..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.l.get(i, j) * x[j];
+            }
+            x[i] = acc / self.l.get(i, i);
+        }
+        // Lᵀ x = y
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.l.get(j, i) * x[j];
+            }
+            x[i] = acc / self.l.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` for a matrix right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b.rows() != dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky_solve_matrix",
+                detail: format!("rhs rows {} != {n}", b.rows()),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let x = self.solve_vec(&b.col(j))?;
+            for i in 0..n {
+                out.set(i, j, x[i]);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_and_solve() {
+        let a = Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]])
+            .unwrap();
+        let ch = CholeskyFactor::new(&a).unwrap();
+        // Known factor: L = [[5,0,0],[3,3,0],[-1,1,3]]
+        assert!((ch.l().get(0, 0) - 5.0).abs() < 1e-12);
+        assert!((ch.l().get(1, 0) - 3.0).abs() < 1e-12);
+        assert!((ch.l().get(2, 2) - 3.0).abs() < 1e-12);
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let x = ch.solve_vec(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            CholeskyFactor::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square_and_nan() {
+        assert!(CholeskyFactor::new(&Matrix::zeros(2, 3)).is_err());
+        let mut a = Matrix::identity(2);
+        a.set(1, 1, f64::NAN);
+        assert!(CholeskyFactor::new(&a).is_err());
+    }
+
+    #[test]
+    fn matrix_rhs() {
+        let a = Matrix::from_fn(4, 4, |i, j| if i == j { 6.0 } else { 1.0 });
+        let ch = CholeskyFactor::new(&a).unwrap();
+        let xt = Matrix::from_fn(4, 2, |i, j| (i + 2 * j) as f64);
+        let b = a.matmul(&xt).unwrap();
+        let x = ch.solve_matrix(&b).unwrap();
+        for i in 0..4 {
+            for j in 0..2 {
+                assert!((x.get(i, j) - xt.get(i, j)).abs() < 1e-11);
+            }
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Krylov subspace iterative solvers (GMRES, CG).
+//!
+//! These power the FASTCAP-style baselines: multipole- and FFT-accelerated
+//! solvers replace the dense matrix by a fast approximate matvec operator
+//! and iterate. The paper's §1 observes that precisely this structure — a
+//! large residual vector shared across compute nodes every iteration — is
+//! what ruins their parallel scalability; we reproduce that structure
+//! faithfully via the [`LinearOperator`] abstraction.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::{axpy, dot, norm2};
+
+/// Abstract matrix-vector product, the interface between Krylov solvers and
+/// the dense/FMM/pFFT backends.
+pub trait LinearOperator {
+    /// Dimension of the (square) operator.
+    fn dim(&self) -> usize;
+
+    /// Computes `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `x.len() != dim()` or
+    /// `y.len() != dim()`.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+
+    /// Applies an approximate inverse for preconditioning, `y = M⁻¹ x`.
+    /// The default is the identity (no preconditioning).
+    fn precondition(&self, x: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(x);
+    }
+}
+
+/// A dense matrix viewed as a [`LinearOperator`] with Jacobi (diagonal)
+/// preconditioning.
+#[derive(Debug, Clone)]
+pub struct DenseOperator {
+    a: Matrix,
+    inv_diag: Vec<f64>,
+}
+
+impl DenseOperator {
+    /// Wraps a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `a` is not square.
+    pub fn new(a: Matrix) -> Result<DenseOperator, LinalgError> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                op: "dense_operator",
+                detail: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        let inv_diag = (0..a.rows())
+            .map(|i| {
+                let d = a.get(i, i);
+                if d != 0.0 {
+                    1.0 / d
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Ok(DenseOperator { a, inv_diag })
+    }
+
+    /// The wrapped matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.a
+    }
+}
+
+impl LinearOperator for DenseOperator {
+    fn dim(&self) -> usize {
+        self.a.rows()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let r = self.a.matvec(x);
+        y.copy_from_slice(&r);
+    }
+
+    fn precondition(&self, x: &[f64], y: &mut [f64]) {
+        for i in 0..x.len() {
+            y[i] = x[i] * self.inv_diag[i];
+        }
+    }
+}
+
+/// Statistics returned by the Krylov solvers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KrylovStats {
+    /// Matrix-vector products performed.
+    pub matvecs: usize,
+    /// Final relative residual ‖b − Ax‖/‖b‖.
+    pub residual: f64,
+}
+
+/// Restarted, right-preconditioned GMRES(m).
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] if `b.len() != op.dim()`;
+/// * [`LinalgError::NoConvergence`] if the residual has not dropped below
+///   `tol` after `max_iters` total inner iterations.
+pub fn gmres(
+    op: &dyn LinearOperator,
+    b: &[f64],
+    restart: usize,
+    tol: f64,
+    max_iters: usize,
+) -> Result<(Vec<f64>, KrylovStats), LinalgError> {
+    let n = op.dim();
+    if b.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "gmres",
+            detail: format!("rhs length {} != {n}", b.len()),
+        });
+    }
+    let m = restart.max(1).min(n.max(1));
+    let bnorm = norm2(b);
+    if bnorm == 0.0 {
+        return Ok((vec![0.0; n], KrylovStats { matvecs: 0, residual: 0.0 }));
+    }
+    let mut x = vec![0.0; n];
+    let mut matvecs = 0;
+    let mut scratch = vec![0.0; n];
+    let mut precond = vec![0.0; n];
+    loop {
+        // r = b - A x
+        op.apply(&x, &mut scratch);
+        matvecs += 1;
+        let mut r: Vec<f64> = b.iter().zip(&scratch).map(|(bi, ai)| bi - ai).collect();
+        let beta = norm2(&r);
+        if beta / bnorm < tol {
+            return Ok((x, KrylovStats { matvecs, residual: beta / bnorm }));
+        }
+        if matvecs >= max_iters {
+            return Err(LinalgError::NoConvergence { iterations: matvecs, residual: beta / bnorm });
+        }
+        for ri in &mut r {
+            *ri /= beta;
+        }
+        // Arnoldi with right preconditioning: K_j = span{ A M^-1 v }.
+        let mut v: Vec<Vec<f64>> = vec![r];
+        let mut h = vec![vec![0.0; m]; m + 1]; // h[i][j]
+        let mut cs = vec![0.0; m];
+        let mut sn = vec![0.0; m];
+        let mut g = vec![0.0; m + 1];
+        g[0] = beta;
+        let mut j_done = 0;
+        for j in 0..m {
+            op.precondition(&v[j], &mut precond);
+            op.apply(&precond, &mut scratch);
+            matvecs += 1;
+            let mut w = scratch.clone();
+            // Modified Gram-Schmidt.
+            for (i, vi) in v.iter().enumerate() {
+                let hij = dot(&w, vi);
+                h[i][j] = hij;
+                axpy(-hij, vi, &mut w);
+            }
+            let hj1 = norm2(&w);
+            h[j + 1][j] = hj1;
+            // Apply previous Givens rotations to column j.
+            for i in 0..j {
+                let t = cs[i] * h[i][j] + sn[i] * h[i + 1][j];
+                h[i + 1][j] = -sn[i] * h[i][j] + cs[i] * h[i + 1][j];
+                h[i][j] = t;
+            }
+            // New rotation to annihilate h[j+1][j].
+            let denom = (h[j][j] * h[j][j] + hj1 * hj1).sqrt();
+            if denom == 0.0 {
+                cs[j] = 1.0;
+                sn[j] = 0.0;
+            } else {
+                cs[j] = h[j][j] / denom;
+                sn[j] = hj1 / denom;
+            }
+            h[j][j] = cs[j] * h[j][j] + sn[j] * h[j + 1][j];
+            h[j + 1][j] = 0.0;
+            g[j + 1] = -sn[j] * g[j];
+            g[j] *= cs[j];
+            j_done = j + 1;
+            let rel = g[j + 1].abs() / bnorm;
+            if hj1 == 0.0 || rel < tol || matvecs >= max_iters {
+                break;
+            }
+            for wi in &mut w {
+                *wi /= hj1;
+            }
+            v.push(w);
+        }
+        // Solve the small triangular system for the update coefficients.
+        let k = j_done;
+        let mut y = vec![0.0; k];
+        for i in (0..k).rev() {
+            let mut acc = g[i];
+            for l in (i + 1)..k {
+                acc -= h[i][l] * y[l];
+            }
+            y[i] = acc / h[i][i];
+        }
+        // x += M^-1 (V y)
+        let mut update = vec![0.0; n];
+        for (l, yl) in y.iter().enumerate() {
+            axpy(*yl, &v[l], &mut update);
+        }
+        op.precondition(&update, &mut precond);
+        axpy(1.0, &precond, &mut x);
+        // Outer loop re-checks the true residual.
+    }
+}
+
+/// Conjugate gradients for symmetric positive-definite operators.
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] if `b.len() != op.dim()`;
+/// * [`LinalgError::NoConvergence`] after `max_iters` iterations.
+pub fn cg(
+    op: &dyn LinearOperator,
+    b: &[f64],
+    tol: f64,
+    max_iters: usize,
+) -> Result<(Vec<f64>, KrylovStats), LinalgError> {
+    let n = op.dim();
+    if b.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "cg",
+            detail: format!("rhs length {} != {n}", b.len()),
+        });
+    }
+    let bnorm = norm2(b);
+    if bnorm == 0.0 {
+        return Ok((vec![0.0; n], KrylovStats { matvecs: 0, residual: 0.0 }));
+    }
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut z = vec![0.0; n];
+    op.precondition(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+    let mut matvecs = 0;
+    for _ in 0..max_iters {
+        op.apply(&p, &mut ap);
+        matvecs += 1;
+        let alpha = rz / dot(&p, &ap);
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        let res = norm2(&r) / bnorm;
+        if res < tol {
+            return Ok((x, KrylovStats { matvecs, residual: res }));
+        }
+        op.precondition(&r, &mut z);
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    Err(LinalgError::NoConvergence { iterations: matvecs, residual: norm2(&r) / bnorm })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                4.0 + i as f64 * 0.1
+            } else {
+                1.0 / (1.0 + (i as f64 - j as f64).abs().powi(2))
+            }
+        })
+    }
+
+    #[test]
+    fn gmres_solves_spd() {
+        let n = 30;
+        let a = spd(n);
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * i) as f64 * 0.01).sin()).collect();
+        let b = a.matvec(&x_true);
+        let op = DenseOperator::new(a).unwrap();
+        let (x, stats) = gmres(&op, &b, 20, 1e-12, 500).unwrap();
+        assert!(stats.residual < 1e-12);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn gmres_nonsymmetric() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[0.1, 3.0, -1.0], &[0.0, 0.5, 4.0]])
+            .unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let op = DenseOperator::new(a.clone()).unwrap();
+        let (x, _) = gmres(&op, &b, 3, 1e-13, 200).unwrap();
+        let ax = a.matvec(&x);
+        for (ai, bi) in ax.iter().zip(&b) {
+            assert!((ai - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn gmres_with_restart_smaller_than_dim() {
+        let n = 25;
+        let a = spd(n);
+        let b = vec![1.0; n];
+        let op = DenseOperator::new(a).unwrap();
+        let (x, stats) = gmres(&op, &b, 5, 1e-10, 2000).unwrap();
+        assert!(stats.residual < 1e-10);
+        assert!(!x.iter().any(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn cg_solves_spd() {
+        let n = 40;
+        let a = spd(n);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.2).cos()).collect();
+        let b = a.matvec(&x_true);
+        let op = DenseOperator::new(a).unwrap();
+        let (x, stats) = cg(&op, &b, 1e-12, 500).unwrap();
+        assert!(stats.residual < 1e-12);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let op = DenseOperator::new(Matrix::identity(4)).unwrap();
+        let (x, stats) = gmres(&op, &[0.0; 4], 4, 1e-12, 10).unwrap();
+        assert_eq!(x, vec![0.0; 4]);
+        assert_eq!(stats.matvecs, 0);
+        let (x, _) = cg(&op, &[0.0; 4], 1e-12, 10).unwrap();
+        assert_eq!(x, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn no_convergence_reported() {
+        let op = DenseOperator::new(spd(20)).unwrap();
+        let err = gmres(&op, &[1.0; 20], 2, 1e-30, 3);
+        assert!(matches!(err, Err(LinalgError::NoConvergence { .. })));
+    }
+
+    #[test]
+    fn dimension_checked() {
+        let op = DenseOperator::new(Matrix::identity(3)).unwrap();
+        assert!(gmres(&op, &[1.0; 2], 2, 1e-10, 10).is_err());
+        assert!(cg(&op, &[1.0; 2], 1e-10, 10).is_err());
+        assert!(DenseOperator::new(Matrix::zeros(2, 3)).is_err());
+    }
+}

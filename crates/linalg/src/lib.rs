@@ -1,0 +1,80 @@
+//! # bemcap-linalg — dense linear algebra substrate
+//!
+//! Self-contained dense linear algebra for the `bemcap` workspace: row-major
+//! matrices, cache-blocked products, LU with partial pivoting (the "standard
+//! direct method" the paper relies on for the tiny instantiable-basis
+//! system), Cholesky, Householder QR / least squares (used by the rational
+//! fitting of §4.2.4), and Krylov solvers (GMRES, CG) for the FASTCAP-style
+//! baselines.
+//!
+//! ```
+//! use bemcap_linalg::{Matrix, LuFactor};
+//!
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let lu = LuFactor::new(a)?;
+//! let x = lu.solve_vec(&[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + 1.0 * x[1] - 1.0).abs() < 1e-12);
+//! # Ok::<(), bemcap_linalg::LinalgError>(())
+//! ```
+
+pub mod blas;
+pub mod cholesky;
+pub mod error;
+pub mod krylov;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+
+pub use cholesky::CholeskyFactor;
+pub use error::LinalgError;
+pub use krylov::{cg, gmres, DenseOperator, KrylovStats, LinearOperator};
+pub use lu::LuFactor;
+pub use matrix::Matrix;
+pub use qr::{least_squares, QrFactor};
+
+/// Euclidean norm of a slice.
+pub fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Dot product of two slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_helpers() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dot_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

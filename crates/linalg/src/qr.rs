@@ -1,0 +1,207 @@
+//! Householder QR factorization and linear least squares.
+//!
+//! Used by the rational-fitting acceleration technique (§4.2.4): the
+//! coefficient fit (12) linearizes to an overdetermined linear system that
+//! we solve in the 2-norm via QR — a numerically stable substitute for the
+//! STINS machinery the paper cites (see DESIGN.md §3).
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// A Householder QR factorization of an `m × n` matrix with `m ≥ n`.
+///
+/// ```
+/// use bemcap_linalg::{least_squares, Matrix};
+/// // Fit y = a + b t through three points, least squares.
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]])?;
+/// let x = least_squares(&a, &[1.0, 2.0, 2.0])?;
+/// assert!((x[1] - 0.5).abs() < 1e-12); // slope 1/2
+/// # Ok::<(), bemcap_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct QrFactor {
+    /// Householder vectors below the diagonal; R on and above it.
+    qr: Matrix,
+    /// Scalar β of each reflector H = I − β v vᵀ.
+    betas: Vec<f64>,
+}
+
+impl QrFactor {
+    /// Factorizes `a` (consuming it).
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] when `m < n`;
+    /// * [`LinalgError::NotFinite`] on non-finite input.
+    pub fn new(a: Matrix) -> Result<QrFactor, LinalgError> {
+        let (m, n) = (a.rows(), a.cols());
+        if m < n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "qr",
+                detail: format!("{m}x{n} (need m >= n)"),
+            });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NotFinite);
+        }
+        let mut qr = a;
+        let mut betas = Vec::with_capacity(n);
+        for k in 0..n {
+            // Householder vector for column k, rows k..m.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += qr.get(i, k) * qr.get(i, k);
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                betas.push(0.0);
+                continue;
+            }
+            let alpha = if qr.get(k, k) >= 0.0 { -norm } else { norm };
+            // v = x - alpha e1, stored with v[k] implicit after scaling.
+            let v0 = qr.get(k, k) - alpha;
+            let beta = -v0 / alpha; // β = vᵀv/2 normalization folded in
+            // Store normalized v (v[k] = 1 implicitly): v[i] /= v0.
+            for i in (k + 1)..m {
+                let t = qr.get(i, k) / v0;
+                qr.set(i, k, t);
+            }
+            qr.set(k, k, alpha);
+            betas.push(beta);
+            // Apply H to the remaining columns.
+            for j in (k + 1)..n {
+                let mut s = qr.get(k, j);
+                for i in (k + 1)..m {
+                    s += qr.get(i, k) * qr.get(i, j);
+                }
+                s *= beta;
+                qr.add_to(k, j, -s);
+                for i in (k + 1)..m {
+                    let vik = qr.get(i, k);
+                    qr.add_to(i, j, -s * vik);
+                }
+            }
+        }
+        Ok(QrFactor { qr, betas })
+    }
+
+    /// Number of rows of the factored matrix.
+    pub fn rows(&self) -> usize {
+        self.qr.rows()
+    }
+
+    /// Number of columns (unknowns).
+    pub fn cols(&self) -> usize {
+        self.qr.cols()
+    }
+
+    /// Solves the least-squares problem `min ||A x − b||₂`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] when `b.len() != rows()`;
+    /// * [`LinalgError::Singular`] when R has a zero diagonal (rank
+    ///   deficient).
+    pub fn solve_ls(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let (m, n) = (self.rows(), self.cols());
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                op: "qr_solve",
+                detail: format!("rhs length {} != {m}", b.len()),
+            });
+        }
+        // Apply Qᵀ to b.
+        let mut y = b.to_vec();
+        for k in 0..n {
+            let beta = self.betas[k];
+            if beta == 0.0 {
+                continue;
+            }
+            let mut s = y[k];
+            for i in (k + 1)..m {
+                s += self.qr.get(i, k) * y[i];
+            }
+            s *= beta;
+            y[k] -= s;
+            for i in (k + 1)..m {
+                y[i] -= s * self.qr.get(i, k);
+            }
+        }
+        // Back-substitute R x = y[..n].
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.qr.get(i, j) * x[j];
+            }
+            let rii = self.qr.get(i, i);
+            if rii == 0.0 {
+                return Err(LinalgError::Singular { index: i });
+            }
+            x[i] = acc / rii;
+        }
+        Ok(x)
+    }
+}
+
+/// One-shot least squares `min ||A x − b||₂` via Householder QR.
+///
+/// # Errors
+///
+/// Propagates the errors of [`QrFactor::new`] and [`QrFactor::solve_ls`].
+pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    QrFactor::new(a.clone())?.solve_ls(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_square_solve() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x = least_squares(&a, &[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_fit() {
+        // Quadratic fit through noisy-free samples recovers coefficients.
+        let ts: Vec<f64> = (0..10).map(|i| i as f64 / 3.0).collect();
+        let a = Matrix::from_fn(10, 3, |i, j| ts[i].powi(j as i32));
+        let b: Vec<f64> = ts.iter().map(|t| 1.5 - 2.0 * t + 0.25 * t * t).collect();
+        let x = least_squares(&a, &b).unwrap();
+        assert!((x[0] - 1.5).abs() < 1e-10);
+        assert!((x[1] + 2.0).abs() < 1e-10);
+        assert!((x[2] - 0.25).abs() < 1e-10);
+    }
+
+    #[test]
+    fn residual_is_orthogonal_to_columns() {
+        let a = Matrix::from_fn(8, 3, |i, j| ((i * 13 + j * 5) % 7) as f64 - 3.0);
+        let b: Vec<f64> = (0..8).map(|i| (i as f64).cos()).collect();
+        let x = least_squares(&a, &b).unwrap();
+        let ax = a.matvec(&x);
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+        // Aᵀ r ≈ 0 characterizes the LS minimizer.
+        let at = a.transpose();
+        for v in at.matvec(&r) {
+            assert!(v.abs() < 1e-9, "normal equations violated: {v}");
+        }
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(QrFactor::new(Matrix::zeros(2, 3)).is_err());
+        let qr = QrFactor::new(Matrix::identity(3)).unwrap();
+        assert!(qr.solve_ls(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn rank_deficiency_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let qr = QrFactor::new(a).unwrap();
+        assert!(matches!(qr.solve_ls(&[1.0, 2.0, 3.0]), Err(LinalgError::Singular { .. })));
+    }
+}

@@ -1,0 +1,51 @@
+//! Error types for the parallel substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the message-passing runtime and the machine simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParError {
+    /// A rank index was outside `0..size`.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: usize,
+        /// Communicator size.
+        size: usize,
+    },
+    /// The peer's channel endpoint was dropped (peer panicked or exited).
+    Disconnected {
+        /// The peer rank involved.
+        peer: usize,
+    },
+    /// A received message payload had an unexpected size or tag.
+    MalformedMessage {
+        /// Description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ParError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParError::RankOutOfRange { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            ParError::Disconnected { peer } => write!(f, "peer rank {peer} disconnected"),
+            ParError::MalformedMessage { detail } => write!(f, "malformed message: {detail}"),
+        }
+    }
+}
+
+impl Error for ParError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(format!("{}", ParError::RankOutOfRange { rank: 5, size: 2 }).contains('5'));
+        assert!(format!("{}", ParError::Disconnected { peer: 1 }).contains('1'));
+    }
+}

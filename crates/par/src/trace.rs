@@ -1,0 +1,72 @@
+//! Workload-balance statistics for the static k-partition.
+//!
+//! §3 argues that dividing work by *entries of P̃* is "sufficiently
+//! balanced" even though individual integral costs vary with template type
+//! and orientation. These statistics quantify that claim for Table 3's
+//! commentary.
+
+use serde::{Deserialize, Serialize};
+
+use crate::partition::partition_ranges;
+
+/// Balance statistics of one partitioned workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BalanceStats {
+    /// Per-node total cost.
+    pub per_node: Vec<f64>,
+    /// Largest per-node cost.
+    pub max: f64,
+    /// Mean per-node cost.
+    pub mean: f64,
+    /// `max / mean` — 1.0 is perfect balance; the parallel efficiency of a
+    /// pure compute phase is bounded by `mean / max`.
+    pub imbalance: f64,
+}
+
+/// Computes balance statistics for `task_costs` split into `d` contiguous
+/// ranges (Algorithm 1's partition).
+///
+/// # Panics
+///
+/// Panics if `d == 0`.
+pub fn balance_of_partition(task_costs: &[f64], d: usize) -> BalanceStats {
+    let per_node: Vec<f64> = partition_ranges(task_costs.len(), d)
+        .into_iter()
+        .map(|r| task_costs[r].iter().sum())
+        .collect();
+    let max = per_node.iter().cloned().fold(0.0, f64::max);
+    let mean = per_node.iter().sum::<f64>() / d as f64;
+    let imbalance = if mean > 0.0 { max / mean } else { 1.0 };
+    BalanceStats { per_node, max, mean, imbalance }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_costs_are_balanced() {
+        let costs = vec![1.0; 1000];
+        let s = balance_of_partition(&costs, 8);
+        assert!(s.imbalance < 1.01, "imbalance {}", s.imbalance);
+        assert_eq!(s.per_node.len(), 8);
+    }
+
+    #[test]
+    fn skewed_costs_show_imbalance() {
+        // All cost concentrated in the first range.
+        let mut costs = vec![0.0; 100];
+        for c in costs.iter_mut().take(25) {
+            *c = 1.0;
+        }
+        let s = balance_of_partition(&costs, 4);
+        assert!((s.imbalance - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let s = balance_of_partition(&[], 4);
+        assert_eq!(s.imbalance, 1.0);
+        assert_eq!(s.max, 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Error types for the precorrected-FFT solver.
+
+use bemcap_linalg::LinalgError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from building or running the pFFT operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PfftError {
+    /// The mesh has no panels.
+    EmptyMesh,
+    /// The requested grid would be degenerate or absurdly large.
+    BadGrid {
+        /// Explanation.
+        detail: String,
+    },
+    /// The Krylov solve failed.
+    Solve(LinalgError),
+}
+
+impl fmt::Display for PfftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PfftError::EmptyMesh => write!(f, "mesh has no panels"),
+            PfftError::BadGrid { detail } => write!(f, "bad grid: {detail}"),
+            PfftError::Solve(e) => write!(f, "krylov solve failed: {e}"),
+        }
+    }
+}
+
+impl Error for PfftError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PfftError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for PfftError {
+    fn from(e: LinalgError) -> Self {
+        PfftError::Solve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(!format!("{}", PfftError::EmptyMesh).is_empty());
+        assert!(format!("{}", PfftError::BadGrid { detail: "x".into() }).contains("x"));
+    }
+}

@@ -1,0 +1,282 @@
+//! From-scratch complex FFT: iterative radix-2 Cooley–Tukey, plus 3-D
+//! transforms by applying the 1-D transform along each axis.
+
+use std::f64::consts::PI;
+use std::ops::{Add, Mul, Sub};
+
+/// A complex number (we own the whole numeric stack — no external crates).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    /// Creates a complex number.
+    pub const fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// e^{iθ}.
+    pub fn cis(theta: f64) -> Complex {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        (self.re * self.re + self.im * self.im).sqrt()
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, s: f64) -> Complex {
+        Complex::new(self.re * s, self.im * s)
+    }
+}
+
+/// In-place forward FFT.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft_inplace(data: &mut [Complex]) {
+    fft_dir(data, false);
+}
+
+/// In-place inverse FFT (normalized by 1/n).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn ifft_inplace(data: &mut [Complex]) {
+    fft_dir(data, true);
+    let n = data.len() as f64;
+    for v in data.iter_mut() {
+        *v = *v * (1.0 / n);
+    }
+}
+
+fn fft_dir(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2] * w;
+                data[start + k] = a + b;
+                data[start + k + len / 2] = a - b;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Naive DFT (O(n²)) — the test reference.
+pub fn dft_reference(data: &[Complex]) -> Vec<Complex> {
+    let n = data.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (j, x) in data.iter().enumerate() {
+                acc = acc + *x * Complex::cis(-2.0 * PI * (k * j) as f64 / n as f64);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// In-place 3-D FFT on a `nx × ny × nz` row-major (z fastest) array.
+///
+/// # Panics
+///
+/// Panics if dimensions are not powers of two or the buffer size mismatches.
+pub fn fft3_inplace(data: &mut [Complex], nx: usize, ny: usize, nz: usize, inverse: bool) {
+    assert_eq!(data.len(), nx * ny * nz, "buffer size");
+    let mut scratch = vec![Complex::ZERO; nx.max(ny).max(nz)];
+    // Transform along z (contiguous).
+    for x in 0..nx {
+        for y in 0..ny {
+            let base = (x * ny + y) * nz;
+            let line = &mut data[base..base + nz];
+            if inverse {
+                ifft_inplace(line);
+            } else {
+                fft_inplace(line);
+            }
+        }
+    }
+    // Along y.
+    for x in 0..nx {
+        for z in 0..nz {
+            for y in 0..ny {
+                scratch[y] = data[(x * ny + y) * nz + z];
+            }
+            let line = &mut scratch[..ny];
+            if inverse {
+                ifft_inplace(line);
+            } else {
+                fft_inplace(line);
+            }
+            for y in 0..ny {
+                data[(x * ny + y) * nz + z] = scratch[y];
+            }
+        }
+    }
+    // Along x.
+    for y in 0..ny {
+        for z in 0..nz {
+            for x in 0..nx {
+                scratch[x] = data[(x * ny + y) * nz + z];
+            }
+            let line = &mut scratch[..nx];
+            if inverse {
+                ifft_inplace(line);
+            } else {
+                fft_inplace(line);
+            }
+            for x in 0..nx {
+                data[(x * ny + y) * nz + z] = scratch[x];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 32, 128] {
+            let mut x = signal(n);
+            let reference = dft_reference(&x);
+            fft_inplace(&mut x);
+            for (a, b) in x.iter().zip(&reference) {
+                assert!((*a - *b).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let orig = signal(64);
+        let mut x = orig.clone();
+        fft_inplace(&mut x);
+        ifft_inplace(&mut x);
+        for (a, b) in x.iter().zip(&orig) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval() {
+        let x = signal(256);
+        let mut f = x.clone();
+        fft_inplace(&mut f);
+        let t: f64 = x.iter().map(|v| v.abs().powi(2)).sum();
+        let s: f64 = f.iter().map(|v| v.abs().powi(2)).sum::<f64>() / 256.0;
+        assert!((t - s).abs() < 1e-9 * t);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_panics() {
+        let mut x = signal(12);
+        fft_inplace(&mut x);
+    }
+
+    #[test]
+    fn three_dimensional_round_trip() {
+        let (nx, ny, nz) = (4, 8, 2);
+        let orig: Vec<Complex> = (0..nx * ny * nz)
+            .map(|i| Complex::new(i as f64, (i % 3) as f64))
+            .collect();
+        let mut x = orig.clone();
+        fft3_inplace(&mut x, nx, ny, nz, false);
+        fft3_inplace(&mut x, nx, ny, nz, true);
+        for (a, b) in x.iter().zip(&orig) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn convolution_theorem_1d() {
+        // Circular convolution via FFT equals direct circular convolution.
+        let n = 16;
+        let a = signal(n);
+        let b: Vec<Complex> = (0..n).map(|i| Complex::new((i * i % 7) as f64, 0.0)).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        fft_inplace(&mut fa);
+        fft_inplace(&mut fb);
+        let mut prod: Vec<Complex> = fa.iter().zip(&fb).map(|(x, y)| *x * *y).collect();
+        ifft_inplace(&mut prod);
+        for k in 0..n {
+            let mut direct = Complex::ZERO;
+            for j in 0..n {
+                direct = direct + a[j] * b[(k + n - j) % n];
+            }
+            assert!((prod[k] - direct).abs() < 1e-9);
+        }
+    }
+}

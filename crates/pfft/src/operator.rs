@@ -1,0 +1,380 @@
+//! The precorrected-FFT matrix-vector product and capacitance solve.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use bemcap_geom::{Geometry, Mesh, Point3, EPS0};
+use bemcap_linalg::{gmres, LinearOperator, Matrix};
+use bemcap_quad::galerkin::{GalerkinEngine, PanelShape};
+
+use crate::error::PfftError;
+use crate::fft::{fft3_inplace, Complex};
+use crate::grid::Grid;
+
+/// pFFT tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PfftConfig {
+    /// Grid spacing as a multiple of the mean panel edge.
+    pub spacing_factor: f64,
+    /// Chebyshev cell radius of the precorrected near zone.
+    pub near_cells: usize,
+    /// Hard cap on padded grid points.
+    pub max_grid_points: usize,
+}
+
+impl Default for PfftConfig {
+    fn default() -> Self {
+        PfftConfig { spacing_factor: 1.0, near_cells: 2, max_grid_points: 1 << 24 }
+    }
+}
+
+/// Cumulative matvec phase timings (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PfftTimings {
+    /// Projection + interpolation.
+    pub project: f64,
+    /// Forward + inverse 3-D FFTs and the spectral multiply.
+    pub fft: f64,
+    /// Precorrection sparse product.
+    pub precorrect: f64,
+    /// Matvecs performed.
+    pub count: usize,
+}
+
+/// The precorrected-FFT Galerkin operator (scaled by 1/(4πε)).
+pub struct PfftOperator {
+    grid: Grid,
+    kernel_hat: Vec<Complex>,
+    stencils: Vec<[(usize, f64); 8]>,
+    areas: Vec<f64>,
+    /// Near rows: (column, exact − grid-mediated), the precorrection.
+    near: Vec<Vec<(u32, f64)>>,
+    inv_diag: Vec<f64>,
+    scale: f64,
+    timings: std::cell::Cell<PfftTimings>,
+}
+
+impl std::fmt::Debug for PfftOperator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PfftOperator")
+            .field("n", &self.areas.len())
+            .field("grid", &self.grid.fft_dims)
+            .finish()
+    }
+}
+
+impl PfftOperator {
+    /// Builds the operator.
+    ///
+    /// # Errors
+    ///
+    /// * [`PfftError::EmptyMesh`] / [`PfftError::BadGrid`] from grid
+    ///   construction.
+    pub fn new(mesh: &Mesh, eps_rel: f64, cfg: PfftConfig) -> Result<PfftOperator, PfftError> {
+        let grid = Grid::fit(mesh, cfg.spacing_factor, cfg.max_grid_points)?;
+        let panels = mesh.panels();
+        let n = panels.len();
+        let scale = 1.0 / (4.0 * std::f64::consts::PI * eps_rel * EPS0);
+        let eng = GalerkinEngine::default();
+        // Sampled kernel on the padded (circulant) grid, then its FFT.
+        let [px, py, pz] = grid.fft_dims;
+        let mut kernel = vec![Complex::ZERO; grid.fft_points()];
+        for i in 0..px {
+            let dx = signed_offset(i, px) as f64 * grid.h;
+            for j in 0..py {
+                let dy = signed_offset(j, py) as f64 * grid.h;
+                for k in 0..pz {
+                    let dz = signed_offset(k, pz) as f64 * grid.h;
+                    let r = (dx * dx + dy * dy + dz * dz).sqrt();
+                    // G(0) = 0: every pair whose stencils can meet is in
+                    // the precorrected near zone, where this choice cancels
+                    // exactly.
+                    let g = if r > 0.0 { 1.0 / r } else { 0.0 };
+                    kernel[grid.flat(i, j, k)] = Complex::new(g, 0.0);
+                }
+            }
+        }
+        fft3_inplace(&mut kernel, px, py, pz, false);
+        // Stencils.
+        let centers: Vec<Point3> = panels.iter().map(|p| p.panel.center()).collect();
+        let stencils: Vec<[(usize, f64); 8]> =
+            centers.iter().map(|c| grid.stencil(*c)).collect();
+        let areas: Vec<f64> = panels.iter().map(|p| p.panel.area()).collect();
+        // Near zone via cell buckets.
+        let mut buckets: HashMap<[usize; 3], Vec<usize>> = HashMap::new();
+        for (pi, c) in centers.iter().enumerate() {
+            buckets.entry(grid.cell_of(*c)).or_default().push(pi);
+        }
+        let kernel_sample = |a: usize, b: usize, grid: &Grid| -> f64 {
+            // Raw (circulant) kernel value between two padded flat indices.
+            let (ax, ay, az) = unflat(a, grid);
+            let (bx, by, bz) = unflat(b, grid);
+            let dx = (ax as isize - bx as isize).unsigned_abs() as f64 * grid.h;
+            let dy = (ay as isize - by as isize).unsigned_abs() as f64 * grid.h;
+            let dz = (az as isize - bz as isize).unsigned_abs() as f64 * grid.h;
+            let r = (dx * dx + dy * dy + dz * dz).sqrt();
+            if r > 0.0 {
+                1.0 / r
+            } else {
+                0.0
+            }
+        };
+        let mut near = vec![Vec::new(); n];
+        let mut inv_diag = vec![0.0; n];
+        let r = cfg.near_cells as isize;
+        for (pi, c) in centers.iter().enumerate() {
+            let cell = grid.cell_of(*c);
+            for ox in -r..=r {
+                for oy in -r..=r {
+                    for oz in -r..=r {
+                        let nc = [
+                            cell[0] as isize + ox,
+                            cell[1] as isize + oy,
+                            cell[2] as isize + oz,
+                        ];
+                        if nc.iter().any(|&v| v < 0) {
+                            continue;
+                        }
+                        let key = [nc[0] as usize, nc[1] as usize, nc[2] as usize];
+                        let Some(list) = buckets.get(&key) else { continue };
+                        for &pj in list {
+                            let exact = scale
+                                * eng.panel_pair(
+                                    &panels[pi].panel,
+                                    PanelShape::Flat,
+                                    &panels[pj].panel,
+                                    PanelShape::Flat,
+                                );
+                            // Grid-mediated contribution for the same pair.
+                            let mut mediated = 0.0;
+                            for &(sa, wa) in &stencils[pi] {
+                                for &(sb, wb) in &stencils[pj] {
+                                    mediated += wa * wb * kernel_sample(sa, sb, &grid);
+                                }
+                            }
+                            mediated *= scale * areas[pi] * areas[pj];
+                            near[pi].push((pj as u32, exact - mediated));
+                            if pi == pj {
+                                inv_diag[pi] = 1.0 / exact;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(PfftOperator {
+            grid,
+            kernel_hat: kernel,
+            stencils,
+            areas,
+            near,
+            inv_diag,
+            scale,
+            timings: std::cell::Cell::new(PfftTimings::default()),
+        })
+    }
+
+    /// Panel areas.
+    pub fn areas(&self) -> &[f64] {
+        &self.areas
+    }
+
+    /// The grid (shape input for the parallel cost model).
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Cumulative matvec timings.
+    pub fn timings(&self) -> PfftTimings {
+        self.timings.get()
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.kernel_hat.len() * 16
+            + self.grid.fft_points() * 16
+            + self.near.iter().map(|r| r.len() * 12).sum::<usize>()
+            + self.stencils.len() * 8 * 16
+    }
+}
+
+fn signed_offset(i: usize, n: usize) -> isize {
+    if i <= n / 2 {
+        i as isize
+    } else {
+        i as isize - n as isize
+    }
+}
+
+fn unflat(flat: usize, grid: &Grid) -> (usize, usize, usize) {
+    let k = flat % grid.fft_dims[2];
+    let j = (flat / grid.fft_dims[2]) % grid.fft_dims[1];
+    let i = flat / (grid.fft_dims[1] * grid.fft_dims[2]);
+    (i, j, k)
+}
+
+impl LinearOperator for PfftOperator {
+    fn dim(&self) -> usize {
+        self.areas.len()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.dim());
+        assert_eq!(y.len(), self.dim());
+        let mut t = self.timings.get();
+        let [px, py, pz] = self.grid.fft_dims;
+        let t0 = Instant::now();
+        // Project charges q_j = x_j A_j onto the grid.
+        let mut field = vec![Complex::ZERO; self.grid.fft_points()];
+        for (j, st) in self.stencils.iter().enumerate() {
+            let q = x[j] * self.areas[j];
+            for &(flat, w) in st {
+                field[flat].re += q * w;
+            }
+        }
+        let t1 = Instant::now();
+        t.project += (t1 - t0).as_secs_f64();
+        // Convolve.
+        fft3_inplace(&mut field, px, py, pz, false);
+        for (f, k) in field.iter_mut().zip(&self.kernel_hat) {
+            *f = *f * *k;
+        }
+        fft3_inplace(&mut field, px, py, pz, true);
+        let t2 = Instant::now();
+        t.fft += (t2 - t1).as_secs_f64();
+        // Interpolate potentials and apply the Galerkin weights.
+        for (i, st) in self.stencils.iter().enumerate() {
+            let mut phi = 0.0;
+            for &(flat, w) in st {
+                phi += w * field[flat].re;
+            }
+            y[i] = self.scale * self.areas[i] * phi;
+        }
+        let t3 = Instant::now();
+        t.project += (t3 - t2).as_secs_f64();
+        // Precorrection.
+        for (yi, row) in y.iter_mut().zip(&self.near) {
+            let mut acc = 0.0;
+            for &(j, v) in row {
+                acc += v * x[j as usize];
+            }
+            *yi += acc;
+        }
+        t.precorrect += t3.elapsed().as_secs_f64();
+        t.count += 1;
+        self.timings.set(t);
+    }
+
+    fn precondition(&self, x: &[f64], y: &mut [f64]) {
+        for i in 0..x.len() {
+            y[i] = x[i] * self.inv_diag[i];
+        }
+    }
+}
+
+/// Full capacitance extraction with the pFFT operator and GMRES.
+///
+/// # Errors
+///
+/// Propagates operator construction and Krylov errors.
+pub fn solve_capacitance(
+    geo: &Geometry,
+    mesh: &Mesh,
+    cfg: PfftConfig,
+    tol: f64,
+    restart: usize,
+    max_iters: usize,
+) -> Result<Matrix, PfftError> {
+    let op = PfftOperator::new(mesh, geo.eps_rel(), cfg)?;
+    let n_cond = geo.conductor_count();
+    let mut capacitance = Matrix::zeros(n_cond, n_cond);
+    for k in 0..n_cond {
+        let rhs: Vec<f64> = mesh
+            .panels()
+            .iter()
+            .zip(op.areas())
+            .map(|(p, &a)| if p.conductor == k { a } else { 0.0 })
+            .collect();
+        let (rho, _) = gmres(&op, &rhs, restart, tol, max_iters)?;
+        for (i, p) in mesh.panels().iter().enumerate() {
+            capacitance.add_to(p.conductor, k, op.areas()[i] * rho[i]);
+        }
+    }
+    Ok(capacitance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bemcap_geom::structures;
+
+    fn dense_reference(mesh: &Mesh) -> Matrix {
+        let eng = GalerkinEngine::default();
+        let scale = 1.0 / (4.0 * std::f64::consts::PI * EPS0);
+        let n = mesh.panel_count();
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a.set(
+                    i,
+                    j,
+                    scale
+                        * eng.panel_pair(
+                            &mesh.panels()[i].panel,
+                            PanelShape::Flat,
+                            &mesh.panels()[j].panel,
+                            PanelShape::Flat,
+                        ),
+                );
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let geo = structures::parallel_plates(1.0e-6, 1.0e-6, 0.3e-6);
+        let mesh = Mesh::uniform(&geo, 5);
+        let op = PfftOperator::new(&mesh, 1.0, PfftConfig::default()).unwrap();
+        let dense = dense_reference(&mesh);
+        let n = mesh.panel_count();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 % 7) as f64 - 3.0) * 1e-7).collect();
+        let mut y = vec![0.0; n];
+        op.apply(&x, &mut y);
+        let y_ref = dense.matvec(&x);
+        let norm: f64 = y_ref.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let err: f64 =
+            y.iter().zip(&y_ref).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        assert!(err / norm < 3e-2, "relative matvec error {}", err / norm);
+        assert_eq!(op.timings().count, 1);
+    }
+
+    #[test]
+    fn capacitance_agrees_with_physics() {
+        let w = 1.0e-6;
+        let d = 0.25e-6;
+        let geo = structures::parallel_plates(w, w, d);
+        let mesh = Mesh::uniform(&geo, 8);
+        let c = solve_capacitance(&geo, &mesh, PfftConfig::default(), 1e-6, 40, 600).unwrap();
+        let ideal = EPS0 * w * w / d;
+        let c01 = -c.get(0, 1);
+        assert!(c01 > ideal && c01 < 3.0 * ideal, "coupling {c01} vs ideal {ideal}");
+        assert!(c.get(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn memory_reported() {
+        let geo = structures::cube(1.0);
+        let mesh = Mesh::uniform(&geo, 4);
+        let op = PfftOperator::new(&mesh, 1.0, PfftConfig::default()).unwrap();
+        assert!(op.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn signed_offset_wraps() {
+        assert_eq!(signed_offset(0, 8), 0);
+        assert_eq!(signed_offset(4, 8), 4);
+        assert_eq!(signed_offset(5, 8), -3);
+        assert_eq!(signed_offset(7, 8), -1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Parallel cost model of the precorrected FFT (the Fig. 8 "[1]" curve).
+//!
+//! The structural bottleneck: each 3-D FFT on a node-distributed grid
+//! needs global transposes (all-to-all of the whole grid) — twice per
+//! forward/inverse pair — plus the Krylov residual exchange every
+//! iteration. That communication is proportional to the *grid*, not the
+//! panel count, so efficiency collapses quickly (42 % at 8 nodes in the
+//! original paper [1]).
+
+use bemcap_par::{CommModel, MachineSim, Phase};
+
+/// Measured per-unit costs of one pFFT solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PfftCostModel {
+    /// Seconds of projection+interpolation per panel per matvec.
+    pub project_per_panel: f64,
+    /// Seconds of FFT butterfly work per grid point per matvec (both
+    /// transforms plus the spectral multiply).
+    pub fft_per_point: f64,
+    /// Seconds of precorrection per near-field entry per matvec.
+    pub precorrect_per_entry: f64,
+    /// Panels N.
+    pub n: usize,
+    /// Padded grid points.
+    pub grid_points: usize,
+    /// Near-field entries.
+    pub near_entries: usize,
+    /// Krylov iterations.
+    pub iterations: usize,
+    /// Serial setup seconds (kernel FFT, stencil build).
+    pub serial_setup: f64,
+}
+
+/// Builds the phase list of one parallel pFFT solve on `d` nodes
+/// (slab-decomposed grid).
+pub fn pfft_phases(costs: &PfftCostModel, d: usize) -> Vec<Phase> {
+    let mut phases = vec![Phase::Serial { seconds: costs.serial_setup }];
+    let g = costs.grid_points as f64;
+    for _ in 0..costs.iterations {
+        // Projection (panel-parallel).
+        phases.push(Phase::Parallel {
+            costs_per_node: vec![costs.project_per_panel * costs.n as f64 / d as f64; d],
+        });
+        phases.push(Phase::Barrier);
+        // Forward + inverse FFT: local passes plus two global transposes
+        // each (slab decomposition: x/y passes local, z pass needs the
+        // transposed layout).
+        for _ in 0..2 {
+            phases.push(Phase::Parallel {
+                costs_per_node: vec![costs.fft_per_point * g / (2.0 * d as f64); d],
+            });
+            // Transpose: every node exchanges its slab with every other.
+            phases.push(Phase::AllToAll { bytes: (costs.grid_points / (d * d).max(1)) * 16 });
+            phases.push(Phase::Parallel {
+                costs_per_node: vec![costs.fft_per_point * g / (2.0 * d as f64); d],
+            });
+            phases.push(Phase::AllToAll { bytes: (costs.grid_points / (d * d).max(1)) * 16 });
+        }
+        // Interpolation + precorrection (panel-parallel).
+        phases.push(Phase::Parallel {
+            costs_per_node: vec![
+                (costs.project_per_panel * costs.n as f64
+                    + costs.precorrect_per_entry * costs.near_entries as f64)
+                    / d as f64;
+                d
+            ],
+        });
+        // Krylov residual exchange + reduction.
+        phases.push(Phase::AllToAll { bytes: costs.n.div_ceil(d) * 8 });
+        phases.push(Phase::Broadcast { bytes: 64 });
+    }
+    phases
+}
+
+/// Efficiency curve on the node counts `ds` relative to one node.
+pub fn efficiency_curve(
+    costs: &PfftCostModel,
+    comm: CommModel,
+    ds: &[usize],
+) -> Vec<(usize, f64)> {
+    let t1 = MachineSim::new(1, comm).simulate(&pfft_phases(costs, 1)).makespan;
+    ds.iter()
+        .map(|&d| {
+            let r = MachineSim::new(d, comm).simulate(&pfft_phases(costs, d));
+            (d, r.efficiency(t1))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs() -> PfftCostModel {
+        PfftCostModel {
+            project_per_panel: 4e-7,
+            fft_per_point: 6e-8,
+            precorrect_per_entry: 4e-9,
+            n: 3000,
+            grid_points: 1 << 17,
+            near_entries: 90_000,
+            iterations: 40,
+            serial_setup: 0.02,
+        }
+    }
+
+    #[test]
+    fn efficiency_collapses_faster_than_fmm_regime() {
+        let curve = efficiency_curve(&costs(), CommModel::cluster(), &[1, 2, 4, 8]);
+        assert!((curve[0].1 - 1.0).abs() < 1e-9);
+        for w in curve.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-9);
+        }
+        let at8 = curve.last().unwrap().1;
+        assert!(at8 < 0.7, "pFFT efficiency at 8 should collapse, got {at8}");
+        assert!(at8 > 0.1);
+    }
+
+    #[test]
+    fn phase_list_has_transposes() {
+        let phases = pfft_phases(&costs(), 4);
+        let transposes = phases
+            .iter()
+            .filter(|p| matches!(p, Phase::AllToAll { .. }))
+            .count();
+        // 4 transposes + 1 residual exchange per iteration.
+        assert_eq!(transposes, costs().iterations * 5);
+    }
+}

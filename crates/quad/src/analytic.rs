@@ -1,0 +1,486 @@
+//! Closed-form primitives of the 1/r kernel over axis-aligned rectangles.
+//!
+//! Everything in this module works on the *raw* kernel 1/‖r−r′‖; the
+//! physical 1/(4πε) prefactor is applied by the callers.
+//!
+//! Three levels of closed form, matching the dimension hierarchy of §4.1:
+//!
+//! * [`line_potential`] — 1-D: ∫ dt′ / r along a segment;
+//! * [`rect_potential`] — 2-D: the classic collocation integral of a
+//!   uniformly charged rectangle ("8 terms");
+//! * [`galerkin_parallel`] — 4-D: the Galerkin double-surface integral for
+//!   two parallel rectangles ("more than 100 terms" once the 16-corner
+//!   evaluation is expanded).
+//!
+//! The 4-D quadruple primitive [`quad_primitive`] is derived by repeated
+//! symbolic integration (see the inline derivation) and verified against
+//! nested Gauss quadrature in the tests, including the singular coplanar
+//! self-term.
+
+/// Numerically stable ln(u + √(u² + p²)) for p² = v² + z² ≥ 0.
+///
+/// For u < 0 the naive form suffers catastrophic cancellation; we use the
+/// identity u + r = p² / (r − u).
+///
+/// # Panics
+///
+/// Debug-asserts that the argument of the logarithm is positive; callers
+/// must ensure `p2 > 0` or `u > 0` (the integral guards guarantee this by
+/// zeroing the coefficient otherwise).
+#[inline]
+pub fn ln_u_plus_r(u: f64, p2: f64) -> f64 {
+    let r = (u * u + p2).sqrt();
+    if u >= 0.0 {
+        (u + r).ln()
+    } else {
+        debug_assert!(p2 > 0.0, "log singularity: u<0 with zero transverse offset");
+        (p2 / (r - u)).ln()
+    }
+}
+
+/// Double primitive of 1/r with respect to u and v, where
+/// r = √(u² + v² + z²):
+///
+/// F(u, v) = u·ln(v + r) + v·ln(u + r) − z·atan(u·v / (z·r)).
+///
+/// Corner-differencing F gives the collocation integral
+/// ∬ dx′dy′/‖r − r′‖ — the "8 terms" closed form of §4.1.
+#[inline]
+pub fn double_primitive(u: f64, v: f64, z: f64) -> f64 {
+    let r = (u * u + v * v + z * z).sqrt();
+    let mut acc = 0.0;
+    if u != 0.0 {
+        acc += u * ln_u_plus_r(v, u * u + z * z);
+    }
+    if v != 0.0 {
+        acc += v * ln_u_plus_r(u, v * v + z * z);
+    }
+    if z != 0.0 && u != 0.0 && v != 0.0 {
+        acc -= z * (u * v / (z * r)).atan();
+    }
+    acc
+}
+
+/// Collocation potential integral: ∬ over the rectangle
+/// `[x0,x1] × [y0,y1]` (lying in a plane at perpendicular offset `z` from
+/// the target) of 1/‖r − r′‖, evaluated at in-plane target point
+/// `(px, py)`.
+///
+/// Exact for any target position, including on the rectangle itself
+/// (z = 0, interior point) where the singularity is integrable.
+pub fn rect_potential(x0: f64, x1: f64, y0: f64, y1: f64, z: f64, px: f64, py: f64) -> f64 {
+    let uhi = px - x0;
+    let ulo = px - x1;
+    let vhi = py - y0;
+    let vlo = py - y1;
+    double_primitive(uhi, vhi, z) - double_primitive(uhi, vlo, z)
+        - double_primitive(ulo, vhi, z)
+        + double_primitive(ulo, vlo, z)
+}
+
+/// Line potential: ∫ over t′ ∈ [t0, t1] of 1/√((s − t′)² + p²), the 1-D
+/// analytic expression used when one panel dimension is integrated
+/// numerically (equation (7) inner/outer split).
+///
+/// `p2` is the squared transverse offset (must be positive unless the
+/// target point lies strictly outside [t0, t1]).
+pub fn line_potential(t0: f64, t1: f64, s: f64, p2: f64) -> f64 {
+    ln_u_plus_r(s - t0, p2) - ln_u_plus_r(s - t1, p2)
+}
+
+/// Double primitive of 1/r in v alone (twice in v, none in u):
+/// ∫∫ 1/r dv dv = v·ln(v + r) − r.
+///
+/// Used by the equation-(7) split when *both* templates are shaped along
+/// the same in-plane axis: the two shaped coordinates are quadrature
+/// points and the two unshaped ones are corner-differenced through this
+/// primitive.
+#[inline]
+pub fn double_primitive_vv(u: f64, v: f64, z: f64) -> f64 {
+    let r = (u * u + v * v + z * z).sqrt();
+    let mut acc = -r;
+    if v != 0.0 {
+        acc += v * ln_u_plus_r(v, u * u + z * z);
+    }
+    acc
+}
+
+/// Triple primitive of 1/r — once in u, twice in v:
+///
+/// G₃(u,v,z) = u·v·ln(v+r) + (v²−z²)/2·ln(u+r) − u·r/2 − r²/4
+///           − z·v·atan(u·v/(z·r))
+///
+/// (an additive u-independent term (z²/2)·ln(v²+z²) is dropped: the
+/// single u-difference annihilates it). This is the paper's "3-D
+/// analytical expression": with one template shaped, the shaped
+/// coordinate is integrated numerically and the remaining three
+/// dimensions collapse through G₃.
+#[inline]
+pub fn triple_primitive(u: f64, v: f64, z: f64) -> f64 {
+    let v2 = v * v;
+    let z2 = z * z;
+    let r2 = u * u + v2 + z2;
+    let r = r2.sqrt();
+    let mut acc = -u * r / 2.0 - r2 / 4.0;
+    if u != 0.0 && v != 0.0 {
+        acc += u * v * ln_u_plus_r(v, u * u + z2);
+    }
+    let cu = (v2 - z2) / 2.0;
+    if cu != 0.0 {
+        acc += cu * ln_u_plus_r(u, v2 + z2);
+    }
+    if z != 0.0 && u != 0.0 && v != 0.0 {
+        acc -= z * v * (u * v / (z * r)).atan();
+    }
+    acc
+}
+
+/// Quadruple primitive of 1/r — twice in u, twice in v, with
+/// r = √(u² + v² + z²).
+///
+/// Derivation (each step verified by differentiation):
+///
+/// ```text
+/// ∫ 1/r du                  = ln(u + r)
+/// ∫ ln(u+r) du              = u·ln(u+r) − r
+/// ∫ (u·ln(u+r) − r) dv      = u[v·ln(u+r) + u·ln(v+r) − v − z·atan(uv/zr)
+///                              + z·atan(v/z)] − (v·r + (u²+z²)·ln(v+r))/2
+/// ∫ … dv  (collecting)      = G4 below
+/// ```
+///
+/// G4(u,v,z) = u(v²−z²)/2 · ln(u+r) + v(u²−z²)/2 · ln(v+r)
+///           − u·r²/4 − u·v²/2 + z²·r/2 − r³/6
+///           − u·v·z·[atan(uv/(z·r)) − atan(v/z)]
+///
+/// Terms that the 16-corner cross-difference annihilates (pure functions of
+/// u or of v alone) are retained for clarity; they cost a few flops and
+/// cancel exactly.
+#[inline]
+pub fn quad_primitive(u: f64, v: f64, z: f64) -> f64 {
+    let u2 = u * u;
+    let v2 = v * v;
+    let z2 = z * z;
+    let r2 = u2 + v2 + z2;
+    let r = r2.sqrt();
+    let mut acc = -u * r2 / 4.0 - u * v2 / 2.0 + z2 * r / 2.0 - r2 * r / 6.0;
+    let cu = u * (v2 - z2) / 2.0;
+    if cu != 0.0 {
+        acc += cu * ln_u_plus_r(u, v2 + z2);
+    }
+    let cv = v * (u2 - z2) / 2.0;
+    if cv != 0.0 {
+        acc += cv * ln_u_plus_r(v, u2 + z2);
+    }
+    if u != 0.0 && v != 0.0 && z != 0.0 {
+        acc -= u * v * z * ((u * v / (z * r)).atan() - (v / z).atan());
+    }
+    acc
+}
+
+/// Exact Galerkin integral for two parallel rectangles:
+///
+/// ∬_A ∬_B 1/‖r − r′‖ over A = `ax × ay` (in its plane) and B = `bx × by`
+/// at perpendicular separation `z` (may be 0 for coplanar rectangles,
+/// including the singular self-term A = B).
+///
+/// Evaluated as the 16-corner alternating-sign sum of [`quad_primitive`]:
+/// the sign of corner (i, j, k, l) is (−1)^(i+j+k+l).
+pub fn galerkin_parallel(
+    ax: (f64, f64),
+    ay: (f64, f64),
+    bx: (f64, f64),
+    by: (f64, f64),
+    z: f64,
+) -> f64 {
+    let xs = [ax.0, ax.1];
+    let xt = [bx.0, bx.1];
+    let ys = [ay.0, ay.1];
+    let yt = [by.0, by.1];
+    let mut acc = 0.0;
+    for (i, &xi) in xs.iter().enumerate() {
+        for (j, &xj) in xt.iter().enumerate() {
+            let u = xi - xj;
+            for (k, &yk) in ys.iter().enumerate() {
+                for (l, &yl) in yt.iter().enumerate() {
+                    let v = yk - yl;
+                    let sign = if (i + j + k + l) % 2 == 0 { 1.0 } else { -1.0 };
+                    acc += sign * quad_primitive(u, v, z);
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// The 3-D analytic expression of §4.1: at a fixed shaped coordinate `x`
+/// (measured along the common u-axis of two parallel rectangles), the
+/// integral over B's u-range `bx`, A's v-range `av` and B's v-range `bv`
+/// of 1/r at perpendicular separation `z`:
+///
+/// I₃(x) = ∫_{av} ∬_B 1/‖r−r′‖ — one numerical dimension left out of four.
+pub fn strip_potential(
+    x: f64,
+    bx: (f64, f64),
+    av: (f64, f64),
+    bv: (f64, f64),
+    z: f64,
+) -> f64 {
+    let mut acc = 0.0;
+    for (j, &bxj) in [bx.0, bx.1].iter().enumerate() {
+        let u = x - bxj;
+        let su = if j == 0 { 1.0 } else { -1.0 };
+        for (k, &avk) in [av.0, av.1].iter().enumerate() {
+            for (l, &bvl) in [bv.0, bv.1].iter().enumerate() {
+                let v = avk - bvl;
+                let sv = if (k + l) % 2 == 0 { -1.0 } else { 1.0 };
+                acc += su * sv * triple_primitive(u, v, z);
+            }
+        }
+    }
+    acc
+}
+
+/// Double v-difference of the twice-in-v primitive: the 2-D analytic
+/// expression used when both templates are shaped along the *same* axis —
+/// the transverse offset `u` (shaped-coordinate difference) and plane
+/// separation `z` are fixed; A's and B's unshaped ranges `av`, `bv` are
+/// corner-differenced.
+///
+/// Falls back to the 1-D log-kernel closed form |s|(ln|s| − 1) when
+/// u = z = 0 (coplanar, aligned quadrature nodes), where the generic
+/// primitive's corner values diverge individually.
+pub fn line_pair_potential(u: f64, av: (f64, f64), bv: (f64, f64), z: f64) -> f64 {
+    let p2 = u * u + z * z;
+    let prim = |v: f64| -> f64 {
+        if p2 == 0.0 {
+            let a = v.abs();
+            if a == 0.0 {
+                0.0
+            } else {
+                a * (a.ln() - 1.0)
+            }
+        } else {
+            double_primitive_vv(u, v, z)
+        }
+    };
+    -(prim(av.0 - bv.0) - prim(av.0 - bv.1) - prim(av.1 - bv.0) + prim(av.1 - bv.1))
+}
+
+/// The Galerkin self-term of a rectangle with side lengths `a × b`
+/// (coplanar, identical supports) — the diagonal entry of the
+/// piecewise-constant system matrix before the 1/(4πε) factor.
+pub fn self_term(a: f64, b: f64) -> f64 {
+    galerkin_parallel((0.0, a), (0.0, b), (0.0, a), (0.0, b), 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gauss::GaussRule;
+
+    /// Brute-force collocation reference by 2-D quadrature.
+    fn colloc_ref(x0: f64, x1: f64, y0: f64, y1: f64, z: f64, px: f64, py: f64) -> f64 {
+        let r = GaussRule::new(48);
+        r.integrate_2d(x0, x1, y0, y1, |x, y| {
+            1.0 / ((px - x).powi(2) + (py - y).powi(2) + z * z).sqrt()
+        })
+    }
+
+    #[test]
+    fn stable_log_matches_naive_where_safe() {
+        for &(u, p2) in &[(1.0_f64, 4.0_f64), (-1.0, 4.0), (-100.0, 1e-4), (0.0, 9.0)] {
+            let r = (u * u + p2).sqrt();
+            let naive = (u + r).ln();
+            let stable = ln_u_plus_r(u, p2);
+            assert!(
+                (stable - naive).abs() < 1e-9 * (1.0 + naive.abs()),
+                "u={u} p2={p2}: {stable} vs {naive}"
+            );
+        }
+    }
+
+    #[test]
+    fn collocation_matches_quadrature_far() {
+        let v = rect_potential(0.0, 1.0, 0.0, 2.0, 3.0, 0.5, 0.7);
+        let r = colloc_ref(0.0, 1.0, 0.0, 2.0, 3.0, 0.5, 0.7);
+        assert!((v - r).abs() < 1e-10, "{v} vs {r}");
+    }
+
+    #[test]
+    fn collocation_off_axis_target() {
+        let v = rect_potential(-1.0, 2.0, 0.5, 1.5, 0.8, 4.0, -3.0);
+        let r = colloc_ref(-1.0, 2.0, 0.5, 1.5, 0.8, 4.0, -3.0);
+        assert!((v - r).abs() < 1e-10);
+    }
+
+    #[test]
+    fn collocation_center_of_unit_square_in_plane() {
+        // Known closed value: ∬ over [-.5,.5]² of 1/ρ at center
+        // = 4·ln(1+√2) ≈ 3.5255.
+        let v = rect_potential(-0.5, 0.5, -0.5, 0.5, 0.0, 0.0, 0.0);
+        let expect = 4.0 * (1.0 + 2.0_f64.sqrt()).ln();
+        assert!((v - expect).abs() < 1e-12, "{v} vs {expect}");
+    }
+
+    #[test]
+    fn collocation_far_field_limit() {
+        // Far away the potential tends to area / distance; the leading
+        // correction is O((a/d)²) ≈ 1e-4 relative at d = 100.
+        let d = 100.0;
+        let v = rect_potential(0.0, 1.0, 0.0, 1.0, d, 0.5, 0.5);
+        assert!((v - 1.0 / d).abs() < 1e-3 / d);
+    }
+
+    #[test]
+    fn line_potential_matches_quadrature() {
+        let r = GaussRule::new(40);
+        let reference = r.integrate(0.0, 2.0, |t| 1.0 / ((0.7 - t).powi(2) + 0.09).sqrt());
+        let v = line_potential(0.0, 2.0, 0.7, 0.09);
+        assert!((v - reference).abs() < 1e-10);
+    }
+
+    /// 4-D brute force by nested quadrature (only usable when panels are
+    /// separated; near-singular cases use subdivision in `numint`).
+    fn galerkin_ref(
+        ax: (f64, f64),
+        ay: (f64, f64),
+        bx: (f64, f64),
+        by: (f64, f64),
+        z: f64,
+        order: usize,
+    ) -> f64 {
+        let r = GaussRule::new(order);
+        r.integrate_2d(ax.0, ax.1, ay.0, ay.1, |x, y| {
+            rect_potential(bx.0, bx.1, by.0, by.1, z, x, y)
+        })
+    }
+
+    #[test]
+    fn galerkin_parallel_separated() {
+        let v = galerkin_parallel((0.0, 1.0), (0.0, 1.0), (0.0, 1.0), (0.0, 1.0), 2.0);
+        let reference = galerkin_ref((0.0, 1.0), (0.0, 1.0), (0.0, 1.0), (0.0, 1.0), 2.0, 24);
+        assert!((v - reference).abs() < 1e-10, "{v} vs {reference}");
+    }
+
+    #[test]
+    fn galerkin_parallel_offset_rectangles() {
+        let v = galerkin_parallel((0.0, 2.0), (-1.0, 0.5), (3.0, 4.0), (0.0, 2.0), 1.3);
+        let reference = galerkin_ref((0.0, 2.0), (-1.0, 0.5), (3.0, 4.0), (0.0, 2.0), 1.3, 24);
+        assert!((v - reference).abs() < 1e-9, "{v} vs {reference}");
+    }
+
+    #[test]
+    fn galerkin_coplanar_disjoint() {
+        let v = galerkin_parallel((0.0, 1.0), (0.0, 1.0), (2.0, 3.0), (0.0, 1.0), 0.0);
+        let reference = galerkin_ref((0.0, 1.0), (0.0, 1.0), (2.0, 3.0), (0.0, 1.0), 0.0, 32);
+        assert!((v - reference).abs() < 1e-9, "{v} vs {reference}");
+    }
+
+    #[test]
+    fn galerkin_self_term_unit_square() {
+        // Known value: ∬∬_{[0,1]²×[0,1]²} 1/|r−r'| = (2/3)·[3·ln(1+√2)+2−√2]
+        //            ≈ 2.97349...  (classic result for the unit square).
+        let v = self_term(1.0, 1.0);
+        let expect = 2.0 * (3.0 * (1.0 + 2.0_f64.sqrt()).ln() + 2.0 - 2.0_f64.sqrt()) / 3.0
+            * 2.0
+            / 2.0;
+        // Literature value ~ 3.525494... wait — cross-check numerically
+        // against adaptive quadrature instead of a literature constant:
+        let reference = crate::numint::galerkin_bruteforce(
+            (0.0, 1.0),
+            (0.0, 1.0),
+            (0.0, 1.0),
+            (0.0, 1.0),
+            0.0,
+            6,
+            16,
+        );
+        assert!(
+            (v - reference).abs() < 2e-3 * reference.abs(),
+            "analytic {v} vs subdivided quadrature {reference} (lit-guess {expect})"
+        );
+        assert!(v > 0.0);
+    }
+
+    #[test]
+    fn galerkin_symmetry_under_swap() {
+        // P̃ is symmetric: swapping the panels must give the same value.
+        let a = galerkin_parallel((0.0, 1.0), (0.0, 2.0), (1.5, 3.0), (0.5, 1.0), 0.7);
+        let b = galerkin_parallel((1.5, 3.0), (0.5, 1.0), (0.0, 1.0), (0.0, 2.0), -0.7);
+        assert!((a - b).abs() < 1e-11 * a.abs().max(1.0));
+    }
+
+    #[test]
+    fn galerkin_far_field_limit() {
+        let d = 50.0;
+        let v = galerkin_parallel((0.0, 1.0), (0.0, 1.0), (0.0, 1.0), (0.0, 1.0), d);
+        assert!((v - 1.0 / d).abs() < 1e-4 / d, "{} vs {}", v, 1.0 / d);
+    }
+
+    #[test]
+    fn triple_primitive_strip_matches_quadrature() {
+        // I3(x) vs nested quadrature for several x, including inside B's
+        // u-range and the coplanar case.
+        let rule = GaussRule::new(32);
+        for &(x, z) in &[(2.5_f64, 0.8_f64), (0.3, 0.8), (-1.0, 0.0), (0.5, 0.0)] {
+            let reference = rule.integrate(0.0, 1.5, |y| {
+                rect_potential(0.0, 1.0, -0.5, 0.5, z, x, y)
+            });
+            let got = strip_potential(x, (0.0, 1.0), (0.0, 1.5), (-0.5, 0.5), z);
+            // Coplanar x inside B's range makes the reference rule itself
+            // slightly inaccurate; keep a modest tolerance there.
+            let tol = if z == 0.0 { 2e-4 } else { 1e-9 };
+            assert!(
+                (got - reference).abs() < tol * reference.abs().max(1.0),
+                "x={x} z={z}: {got} vs {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn line_pair_matches_quadrature() {
+        let rule = GaussRule::new(48);
+        // Separated case.
+        let reference = rule.integrate(0.0, 1.0, |y| {
+            rule.integrate(2.0, 3.5, |yp| 1.0 / ((0.4_f64).hypot(y - yp)))
+        });
+        let got = line_pair_potential(0.4, (0.0, 1.0), (2.0, 3.5), 0.0);
+        assert!((got - reference).abs() < 1e-10 * reference, "{got} vs {reference}");
+        // With plane separation.
+        let reference = rule.integrate(0.0, 1.0, |y| {
+            rule.integrate(0.5, 2.0, |yp| 1.0 / (0.3_f64 * 0.3 + 0.2 * 0.2 + (y - yp).powi(2)).sqrt())
+        });
+        let got = line_pair_potential(0.3, (0.0, 1.0), (0.5, 2.0), 0.2);
+        assert!((got - reference).abs() < 1e-10 * reference, "{got} vs {reference}");
+    }
+
+    #[test]
+    fn line_pair_coplanar_disjoint_ranges() {
+        // u = z = 0 with *disjoint* ranges: the log-kernel special case is
+        // finite and matches quadrature. (Overlapping ranges at u = z = 0
+        // genuinely diverge — ∫∫ 1/|v−v′| across the diagonal — which is
+        // why the engine routes coplanar same-axis shaped pairs away from
+        // this expression.)
+        let got = line_pair_potential(0.0, (0.0, 1.0), (2.0, 3.0), 0.0);
+        let rule = GaussRule::new(48);
+        let reference = rule
+            .integrate(0.0, 1.0, |y| rule.integrate(2.0, 3.0, |yp| 1.0 / (yp - y)));
+        assert!((got - reference).abs() < 1e-10 * reference, "{got} vs {reference}");
+    }
+
+    #[test]
+    fn quad_primitive_finite_everywhere_relevant() {
+        for &(u, v, z) in &[
+            (0.0, 0.0, 0.0),
+            (1.0, 0.0, 0.0),
+            (0.0, 1.0, 0.0),
+            (-1.0, 0.0, 0.0),
+            (0.0, -1.0, 0.0),
+            (-2.0, -3.0, 0.5),
+            (1e-12, 1e-12, 0.0),
+        ] {
+            let g = quad_primitive(u, v, z);
+            assert!(g.is_finite(), "non-finite at ({u},{v},{z})");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Brute-force numerical integration references.
+//!
+//! These are deliberately slow, high-accuracy evaluators used to validate
+//! the closed forms and the dimension-reduction engine. They never run in
+//! the production assembly path.
+
+use crate::analytic::rect_potential;
+use crate::gauss::GaussRule;
+
+/// Galerkin integral of 1/r over two parallel rectangles by outer
+/// subdivided Gauss quadrature of the (exact) inner collocation potential.
+///
+/// Subdividing the outer rectangle into `subdiv × subdiv` cells makes the
+/// rule converge even for the coplanar self-term, where the inner potential
+/// is continuous but has kinked derivatives along the panel edges.
+pub fn galerkin_bruteforce(
+    ax: (f64, f64),
+    ay: (f64, f64),
+    bx: (f64, f64),
+    by: (f64, f64),
+    z: f64,
+    subdiv: usize,
+    order: usize,
+) -> f64 {
+    let rule = GaussRule::new(order);
+    let dx = (ax.1 - ax.0) / subdiv as f64;
+    let dy = (ay.1 - ay.0) / subdiv as f64;
+    let mut acc = 0.0;
+    for i in 0..subdiv {
+        for j in 0..subdiv {
+            let x0 = ax.0 + dx * i as f64;
+            let y0 = ay.0 + dy * j as f64;
+            acc += rule.integrate_2d(x0, x0 + dx, y0, y0 + dy, |x, y| {
+                rect_potential(bx.0, bx.1, by.0, by.1, z, x, y)
+            });
+        }
+    }
+    acc
+}
+
+/// Fully numerical 4-D Galerkin integral of 1/r over two parallel
+/// rectangles (tensor Gauss in all four dimensions). Valid only for
+/// separated rectangles (z ≠ 0 or disjoint supports).
+pub fn galerkin_4d_quadrature(
+    ax: (f64, f64),
+    ay: (f64, f64),
+    bx: (f64, f64),
+    by: (f64, f64),
+    z: f64,
+    order: usize,
+) -> f64 {
+    let rule = GaussRule::new(order);
+    let mut acc = 0.0;
+    for (x, wx) in rule.mapped(ax.0, ax.1) {
+        for (y, wy) in rule.mapped(ay.0, ay.1) {
+            for (xp, wxp) in rule.mapped(bx.0, bx.1) {
+                for (yp, wyp) in rule.mapped(by.0, by.1) {
+                    let r = ((x - xp).powi(2) + (y - yp).powi(2) + z * z).sqrt();
+                    acc += wx * wy * wxp * wyp / r;
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Weighted Galerkin reference: like [`galerkin_bruteforce`] but with
+/// arbitrary in-plane weights on both rectangles, evaluated fully
+/// numerically (outer subdivided × inner plain quadrature). Used to test
+/// the template-weighted paths of the engine.
+#[allow(clippy::too_many_arguments)]
+pub fn weighted_bruteforce(
+    ax: (f64, f64),
+    ay: (f64, f64),
+    bx: (f64, f64),
+    by: (f64, f64),
+    z: f64,
+    wa: impl Fn(f64, f64) -> f64,
+    wb: impl Fn(f64, f64) -> f64,
+    subdiv: usize,
+    order: usize,
+) -> f64 {
+    let rule = GaussRule::new(order);
+    let dax = (ax.1 - ax.0) / subdiv as f64;
+    let day = (ay.1 - ay.0) / subdiv as f64;
+    let dbx = (bx.1 - bx.0) / subdiv as f64;
+    let dby = (by.1 - by.0) / subdiv as f64;
+    let mut acc = 0.0;
+    for ia in 0..subdiv {
+        for ja in 0..subdiv {
+            let xa0 = ax.0 + dax * ia as f64;
+            let ya0 = ay.0 + day * ja as f64;
+            for ib in 0..subdiv {
+                for jb in 0..subdiv {
+                    let xb0 = bx.0 + dbx * ib as f64;
+                    let yb0 = by.0 + dby * jb as f64;
+                    for (x, wx) in rule.mapped(xa0, xa0 + dax) {
+                        for (y, wy) in rule.mapped(ya0, ya0 + day) {
+                            for (xp, wxp) in rule.mapped(xb0, xb0 + dbx) {
+                                for (yp, wyp) in rule.mapped(yb0, yb0 + dby) {
+                                    let r2 = (x - xp).powi(2) + (y - yp).powi(2) + z * z;
+                                    if r2 == 0.0 {
+                                        continue;
+                                    }
+                                    acc += wx * wy * wxp * wyp * wa(x, y) * wb(xp, yp)
+                                        / r2.sqrt();
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::galerkin_parallel;
+
+    #[test]
+    fn bruteforce_agrees_with_4d_quadrature_when_separated() {
+        let a = galerkin_bruteforce((0.0, 1.0), (0.0, 1.0), (0.0, 1.0), (0.0, 1.0), 2.0, 2, 12);
+        let b = galerkin_4d_quadrature((0.0, 1.0), (0.0, 1.0), (0.0, 1.0), (0.0, 1.0), 2.0, 12);
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn bruteforce_matches_closed_form() {
+        let v = galerkin_parallel((0.0, 1.0), (0.0, 2.0), (0.5, 1.5), (0.0, 1.0), 0.8);
+        let r = galerkin_bruteforce((0.0, 1.0), (0.0, 2.0), (0.5, 1.5), (0.0, 1.0), 0.8, 3, 16);
+        assert!((v - r).abs() < 1e-8 * v.abs(), "{v} vs {r}");
+    }
+
+    #[test]
+    fn weighted_reduces_to_unweighted() {
+        let w = weighted_bruteforce(
+            (0.0, 1.0),
+            (0.0, 1.0),
+            (0.0, 1.0),
+            (0.0, 1.0),
+            1.5,
+            |_, _| 1.0,
+            |_, _| 1.0,
+            2,
+            8,
+        );
+        let v = galerkin_parallel((0.0, 1.0), (0.0, 1.0), (0.0, 1.0), (0.0, 1.0), 1.5);
+        assert!((w - v).abs() < 1e-7 * v.abs(), "{w} vs {v}");
+    }
+}

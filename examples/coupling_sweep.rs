@@ -1,0 +1,31 @@
+//! Coupling capacitance vs wire separation: the engineering curve behind
+//! the paper's h-parameterized templates, produced with the sweep API.
+//!
+//! Run with: `cargo run --release --example coupling_sweep`
+
+use bemcap_core::sweep::{entry_curve, sweep};
+use bemcap_core::Extractor;
+use bemcap_geom::structures::{self, CrossingParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let extractor = Extractor::new();
+    let hs: Vec<f64> = (1..=8).map(|i| 0.25e-6 * i as f64).collect();
+    let points = sweep(&extractor, &hs, |h| {
+        let mut p = CrossingParams::default();
+        p.separation = h;
+        structures::crossing_wires(p)
+    })?;
+    let curve = entry_curve(&points, 0, 1);
+    println!("crossing-wire coupling capacitance vs separation h\n");
+    println!("{:>10} {:>14} {:>10}", "h (µm)", "C01 (aF)", "");
+    let max = curve.iter().map(|(_, c)| c.abs()).fold(0.0_f64, f64::max);
+    for (h, c) in &curve {
+        let bar = "#".repeat((c.abs() / max * 40.0) as usize);
+        println!("{:>10.2} {:>14.2} {bar}", h * 1e6, c.abs() * 1e18);
+    }
+    // The coupling must decay monotonically and slower than 1/h
+    // (fringing): check the logarithmic slope.
+    let slope = ((curve[7].1 / curve[0].1).abs()).ln() / (hs[7] / hs[0]).ln();
+    println!("\nlog-log slope over the sweep: {slope:.2} (plate model would be −1)");
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! The Table 2 scenario: the transistor-interconnect structure solved by
+//! the FASTCAP-style multipole baseline and by the instantiable-basis
+//! solver (with and without §4.2 integration acceleration), comparing
+//! runtime, memory and agreement.
+//!
+//! Run with: `cargo run --release --example transistor_interconnect`
+
+use bemcap::prelude::*;
+use bemcap_core::Method;
+use bemcap_geom::structures::TransistorParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let geo = structures::transistor_interconnect(TransistorParams::default());
+    println!(
+        "transistor interconnect: {} nets ({})\n",
+        geo.conductor_count(),
+        geo.conductors().iter().map(|c| c.name()).collect::<Vec<_>>().join(", ")
+    );
+
+    let runs = [
+        ("FASTCAP-style (multipole)", Extractor::new().method(Method::PwcFmm).mesh_divisions(12)),
+        ("instantiable, exact integrals", Extractor::new().method(Method::InstantiableBasis)),
+        (
+            "instantiable, w/ accel (§4.2.3)",
+            Extractor::new().method(Method::InstantiableBasis).accelerated(true),
+        ),
+    ];
+    let mut results = Vec::new();
+    for (label, ex) in runs {
+        let out = ex.extract(&geo)?;
+        let r = out.report();
+        println!(
+            "{label:>32}:  N = {:5}  setup {:8.2} ms  total {:8.2} ms  memory {:8.1} KB",
+            r.n,
+            r.setup_seconds * 1e3,
+            r.total_seconds() * 1e3,
+            r.memory_bytes as f64 / 1024.0
+        );
+        results.push(out);
+    }
+
+    // Agreement on the gate-to-m1 coupling.
+    let names = results[0].capacitance().names().to_vec();
+    let gate = names.iter().position(|n| n == "gate").expect("gate net");
+    let m1 = names.iter().position(|n| n == "m1").expect("m1 net");
+    println!("\ngate↔m1 coupling capacitance:");
+    for (out, label) in results.iter().zip(["multipole", "instantiable", "accelerated"]) {
+        println!("  {label:>12}: {:.4e} F", -out.capacitance().get(gate, m1));
+    }
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! Property-based integration tests on the workspace's core invariants.
+
+use bemcap_linalg::{LuFactor, Matrix};
+use bemcap_par::{ij_to_k, k_to_ij, partition_ranges};
+use bemcap_quad::analytic;
+use bemcap_quad::gauss::GaussRule;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The 4-D closed form equals outer-quadrature × inner-2-D-closed-form
+    /// for random separated parallel rectangles.
+    #[test]
+    fn galerkin_closed_form_matches_quadrature(
+        ax0 in -2.0..2.0f64, aw in 0.2..2.0f64,
+        ay0 in -2.0..2.0f64, ah in 0.2..2.0f64,
+        bx0 in -2.0..2.0f64, bw in 0.2..2.0f64,
+        by0 in -2.0..2.0f64, bh in 0.2..2.0f64,
+        z in 0.3..3.0f64,
+    ) {
+        let v = analytic::galerkin_parallel(
+            (ax0, ax0 + aw), (ay0, ay0 + ah), (bx0, bx0 + bw), (by0, by0 + bh), z);
+        let rule = GaussRule::new(16);
+        let reference = rule.integrate_2d(ax0, ax0 + aw, ay0, ay0 + ah, |x, y| {
+            analytic::rect_potential(bx0, bx0 + bw, by0, by0 + bh, z, x, y)
+        });
+        prop_assert!((v - reference).abs() < 1e-6 * reference.abs().max(1e-12),
+            "closed {v} vs quad {reference}");
+    }
+
+    /// The collocation closed form equals raw 2-D quadrature at random
+    /// (separated) targets.
+    #[test]
+    fn collocation_matches_quadrature(
+        x0 in -1.0..1.0f64, w in 0.2..2.0f64,
+        y0 in -1.0..1.0f64, h in 0.2..2.0f64,
+        z in 0.2..3.0f64, px in -3.0..3.0f64, py in -3.0..3.0f64,
+    ) {
+        let v = analytic::rect_potential(x0, x0 + w, y0, y0 + h, z, px, py);
+        let rule = GaussRule::new(32);
+        let reference = rule.integrate_2d(x0, x0 + w, y0, y0 + h, |x, y| {
+            1.0 / ((px - x).powi(2) + (py - y).powi(2) + z * z).sqrt()
+        });
+        prop_assert!((v - reference).abs() < 1e-8 * reference.abs());
+    }
+
+    /// LU solve round-trips random diagonally dominant systems.
+    #[test]
+    fn lu_round_trip(seed in 0u64..1000, n in 2usize..20) {
+        let a = Matrix::from_fn(n, n, |i, j| {
+            let h = seed.wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((i * 31 + j) as u64)
+                .wrapping_mul(0x2545F4914F6CDD1D);
+            let v = (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            if i == j { v + n as f64 } else { v }
+        });
+        let x_true: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.17).sin()).collect();
+        let b = a.matvec(&x_true);
+        let lu = LuFactor::new(a).expect("well conditioned");
+        let x = lu.solve_vec(&b).expect("solve");
+        for (xi, ti) in x.iter().zip(&x_true) {
+            prop_assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+
+    /// Triangular index bijection and partition cover (the Algorithm 1
+    /// bookkeeping), stressed jointly.
+    #[test]
+    fn k_partitions_enumerate_upper_triangle(m in 1usize..120, d in 1usize..16) {
+        let total = m * (m + 1) / 2;
+        let mut count = 0usize;
+        for range in partition_ranges(total, d) {
+            for k in range {
+                let (i, j) = k_to_ij(k);
+                prop_assert!(i <= j && j < m);
+                prop_assert_eq!(ij_to_k(i, j), k);
+                count += 1;
+            }
+        }
+        prop_assert_eq!(count, total);
+    }
+
+    /// Symmetry of the engine's raw pair integral under operand swap for
+    /// random parallel panels (P̃ = P̃ᵀ, the property Algorithm 1 exploits).
+    #[test]
+    fn pair_integral_symmetry(
+        u0 in -2.0..2.0f64, w in 0.3..1.5f64,
+        v0 in -2.0..2.0f64, h in 0.3..1.5f64,
+        dz in 0.2..2.0f64,
+    ) {
+        use bemcap_geom::{Axis, Panel};
+        use bemcap_quad::galerkin::{GalerkinEngine, PanelShape};
+        let eng = GalerkinEngine::default();
+        let a = Panel::new(Axis::Z, 0.0, (0.0, 1.0), (0.0, 1.0)).expect("panel");
+        let b = Panel::new(Axis::Z, dz, (u0, u0 + w), (v0, v0 + h)).expect("panel");
+        let ab = eng.panel_pair(&a, PanelShape::Flat, &b, PanelShape::Flat);
+        let ba = eng.panel_pair(&b, PanelShape::Flat, &a, PanelShape::Flat);
+        prop_assert!((ab - ba).abs() < 1e-10 * ab.abs().max(1e-30));
+        prop_assert!(ab > 0.0);
+    }
+}

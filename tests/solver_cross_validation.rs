@@ -1,0 +1,102 @@
+//! Cross-solver validation: four independent solver stacks (instantiable
+//! basis, dense PWC, multipole, precorrected FFT) must agree on the same
+//! physics.
+
+use bemcap_core::solver::DensePwcSolver;
+use bemcap_core::{Extractor, Method};
+use bemcap_fmm::FmmSolver;
+use bemcap_geom::structures::{self, CrossingParams};
+use bemcap_geom::{Mesh, EPS0};
+use bemcap_pfft::{operator::solve_capacitance as pfft_solve, PfftConfig};
+
+#[test]
+fn four_solvers_agree_on_crossing_wires() {
+    let geo = structures::crossing_wires(CrossingParams::default());
+    let mesh = Mesh::uniform(&geo, 8);
+
+    let dense = DensePwcSolver.solve(&geo, &mesh).expect("dense");
+    let fmm = FmmSolver::default().solve(&geo, &mesh).expect("fmm").capacitance;
+    let pfft = pfft_solve(&geo, &mesh, PfftConfig::default(), 1e-6, 40, 600).expect("pfft");
+    let inst = Extractor::new()
+        .method(Method::InstantiableBasis)
+        .extract(&geo)
+        .expect("instantiable")
+        .capacitance()
+        .matrix()
+        .clone();
+
+    // Accelerated solvers vs the dense exact discretization: tight.
+    for (name, c) in [("fmm", &fmm), ("pfft", &pfft)] {
+        for i in 0..2 {
+            for j in 0..2 {
+                let a = dense.get(i, j);
+                let b = c.get(i, j);
+                assert!(
+                    (a - b).abs() < 3e-2 * a.abs(),
+                    "{name} ({i},{j}): {b} vs dense {a}"
+                );
+            }
+        }
+    }
+    // The compact instantiable basis vs the same-physics reference:
+    // looser (different discretization philosophy), but the coupling term
+    // must be in the same few-percent-to-tens-of-percent band the paper
+    // reports for coarse template sets.
+    let ci = -inst.get(0, 1);
+    let cd = -dense.get(0, 1);
+    assert!(
+        (ci - cd).abs() / cd < 0.3,
+        "instantiable coupling {ci} vs dense {cd}"
+    );
+}
+
+#[test]
+fn capacitance_matrix_properties_hold_everywhere() {
+    // Physical invariants: symmetric, positive diagonal, negative
+    // off-diagonal, diagonally dominant (sum of each row ≥ 0 for a
+    // complete system grounded at infinity).
+    let geo = structures::bus_crossing(3, 3, structures::BusParams::default());
+    let out = Extractor::new().extract(&geo).expect("extraction");
+    let c = out.capacitance();
+    let n = c.dim();
+    assert_eq!(n, 6);
+    for i in 0..n {
+        assert!(c.get(i, i) > 0.0, "diagonal {i}");
+        let mut row_sum = 0.0;
+        for j in 0..n {
+            if i != j {
+                assert!(c.get(i, j) < 0.0, "off-diagonal ({i},{j}) = {}", c.get(i, j));
+            }
+            row_sum += c.get(i, j);
+        }
+        assert!(row_sum > 0.0, "row {i} sum {row_sum} (capacitance to infinity)");
+    }
+    assert!(c.asymmetry() < 1e-6);
+}
+
+#[test]
+fn parallel_plate_scaling_laws() {
+    // C grows ~linearly with area and ~inversely with gap; check both
+    // trends with the instantiable solver.
+    let c_of = |w: f64, gap: f64| {
+        let geo = structures::parallel_plates(w, w, gap);
+        let out = Extractor::new().method(Method::PwcDense).mesh_divisions(8).extract(&geo);
+        -out.expect("extraction").capacitance().get(0, 1)
+    };
+    let base = c_of(1.0e-6, 0.2e-6);
+    let wide = c_of(2.0e-6, 0.2e-6); // 4x area
+    let tight = c_of(1.0e-6, 0.1e-6); // half gap
+    assert!(wide > 2.5 * base, "area scaling: {wide} vs {base}");
+    assert!(tight > 1.5 * base, "gap scaling: {tight} vs {base}");
+    // And the ideal-plate floor.
+    assert!(base > EPS0 * 1.0e-12 / 0.2e-6);
+}
+
+#[test]
+fn eps_rel_scales_capacitance_linearly() {
+    let geo = structures::crossing_wires(CrossingParams::default());
+    let geo_hi = geo.clone().with_eps_rel(3.9);
+    let c1 = Extractor::new().extract(&geo).expect("eps 1").capacitance().get(0, 0);
+    let c39 = Extractor::new().extract(&geo_hi).expect("eps 3.9").capacitance().get(0, 0);
+    assert!((c39 / c1 - 3.9).abs() < 1e-6, "ratio {}", c39 / c1);
+}
