@@ -1,7 +1,7 @@
 //! Tabulation of expensive subroutines (§4.2.3).
 //!
 //! Most of the time evaluating the closed forms goes into `log` and `atan`
-//! calls. Following the paper (and [5]):
+//! calls. Following the paper (and \[5\]):
 //!
 //! * **log** exploits the IEEE-754 representation:
 //!   log₂(m·2^e) = e + log₂(m); only log₂ of the mantissa is tabulated,
@@ -194,7 +194,8 @@ impl Default for FastMathIntegrator {
 impl Integrator2d for FastMathIntegrator {
     fn eval(&self, q: &RectQuery) -> f64 {
         let [ulo, uhi, vlo, vhi, z] = q.canonical();
-        fast_double_primitive(uhi, vhi, z) - fast_double_primitive(uhi, vlo, z)
+        fast_double_primitive(uhi, vhi, z)
+            - fast_double_primitive(uhi, vlo, z)
             - fast_double_primitive(ulo, vhi, z)
             + fast_double_primitive(ulo, vlo, z)
     }
@@ -215,7 +216,7 @@ mod tests {
 
     #[test]
     fn fast_ln_accuracy() {
-        for &x in &[1e-9, 0.001, 0.5, 1.0, 1.5, 2.0, 3.14159, 1e3, 1e9] {
+        for &x in &[1e-9, 0.001, 0.5, 1.0, 1.5, 2.0, std::f64::consts::PI, 1e3, 1e9] {
             let err = (fast_ln(x) - x.ln()).abs();
             assert!(err < 1e-4, "x={x}: err={err}");
         }
@@ -238,19 +239,14 @@ mod tests {
         for q in sample_queries(500, 7) {
             let e = exact.eval(&q);
             let f = fast.eval(&q);
-            assert!(
-                (f - e).abs() <= 0.01 * e.abs().max(1e-12),
-                "query {q:?}: exact {e}, fast {f}"
-            );
+            assert!((f - e).abs() <= 0.01 * e.abs().max(1e-12), "query {q:?}: exact {e}, fast {f}");
         }
     }
 
     #[test]
     fn primitives_close_to_exact() {
         use bemcap_quad::analytic;
-        for &(u, v, z) in
-            &[(0.5, 0.7, 0.3), (-1.0, 2.0, 0.4), (3.0, -2.0, 1.5), (0.0, 1.0, 0.0)]
-        {
+        for &(u, v, z) in &[(0.5, 0.7, 0.3), (-1.0, 2.0, 0.4), (3.0, -2.0, 1.5), (0.0, 1.0, 0.0)] {
             let a = analytic::double_primitive(u, v, z);
             let b = fast_double_primitive(u, v, z);
             assert!((a - b).abs() < 1e-3 * a.abs().max(1.0), "dp({u},{v},{z})");
@@ -265,9 +261,6 @@ mod tests {
 
     #[test]
     fn memory_accounting() {
-        assert_eq!(
-            FastMathIntegrator::new().memory_bytes(),
-            (16384 + 8192) * 4
-        );
+        assert_eq!(FastMathIntegrator::new().memory_bytes(), (16384 + 8192) * 4);
     }
 }

@@ -16,7 +16,7 @@
 //!    technique the paper selects for its implementation;
 //! 4. [`rational`] — **rational fitting**: a multivariable rational
 //!    function trained by constrained linear least squares, our stand-in
-//!    for STINS [2] (§4.2.4, see DESIGN.md §3).
+//!    for STINS \[2\] (§4.2.4, see DESIGN.md §3).
 //!
 //! All four implement [`Integrator2d`] next to the exact
 //! [`AnalyticIntegrator`] baseline, so the Table 1 harness can time them

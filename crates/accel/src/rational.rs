@@ -15,7 +15,7 @@
 //!
 //! with the constraint eliminated by substitution and the residual
 //! minimized in the 2-norm via Householder QR — our substitute for the
-//! STINS SDP machinery [2] (DESIGN.md §3): the objective is linear in the
+//! STINS SDP machinery \[2\] (DESIGN.md §3): the objective is linear in the
 //! coefficients either way.
 
 use crate::error::AccelError;
@@ -84,9 +84,8 @@ impl RationalFit {
             }
         }
         let center: Vec<f64> = (0..k).map(|d| 0.5 * (lo[d] + hi[d])).collect();
-        let scale: Vec<f64> = (0..k)
-            .map(|d| if hi[d] > lo[d] { 2.0 / (hi[d] - lo[d]) } else { 1.0 })
-            .collect();
+        let scale: Vec<f64> =
+            (0..k).map(|d| if hi[d] > lo[d] { 2.0 / (hi[d] - lo[d]) } else { 1.0 }).collect();
         let num_exps = multi_indices(k, n);
         let den_exps = multi_indices(k, m);
         let n_num = num_exps.len();
@@ -154,9 +153,9 @@ impl RationalFit {
         for d in 0..self.k {
             let x = (w[d] - self.center[d]) * self.scale[d];
             let mut p = 1.0;
-            for e in 1..8 {
+            for pow in pows[d].iter_mut().skip(1) {
                 p *= x;
-                pows[d][e] = p;
+                *pow = p;
             }
         }
         let k = self.k;

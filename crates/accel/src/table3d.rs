@@ -30,7 +30,9 @@ impl IndefiniteTable {
     /// points or empty ranges.
     pub fn build(lo: [f64; 3], hi: [f64; 3], n: [usize; 3]) -> Result<IndefiniteTable, AccelError> {
         for d in 0..3 {
-            if n[d] < 2 || !(hi[d] > lo[d]) {
+            // `partial_cmp` (not `<=`) so NaN bounds are rejected too.
+            let increasing = hi[d].partial_cmp(&lo[d]) == Some(std::cmp::Ordering::Greater);
+            if n[d] < 2 || !increasing {
                 return Err(AccelError::BadConfig {
                     detail: format!("axis {d}: n={} range=[{},{}]", n[d], lo[d], hi[d]),
                 });
@@ -43,8 +45,7 @@ impl IndefiniteTable {
                 let v = lo[1] + (hi[1] - lo[1]) * j as f64 / (n[1] - 1) as f64;
                 for k in 0..n[2] {
                     let z = lo[2] + (hi[2] - lo[2]) * k as f64 / (n[2] - 1) as f64;
-                    values[(i * n[1] + j) * n[2] + k] =
-                        analytic::double_primitive(u, v, z) as f32;
+                    values[(i * n[1] + j) * n[2] + k] = analytic::double_primitive(u, v, z) as f32;
                 }
             }
         }

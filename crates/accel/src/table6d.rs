@@ -128,7 +128,9 @@ impl DirectTable {
         warp: [AxisWarp; DIMS],
     ) -> Result<DirectTable, AccelError> {
         for d in 0..DIMS {
-            if n[d] < 2 || !(hi[d] > lo[d]) {
+            // `partial_cmp` (not `<=`) so NaN bounds are rejected too.
+            let increasing = hi[d].partial_cmp(&lo[d]) == Some(std::cmp::Ordering::Greater);
+            if n[d] < 2 || !increasing {
                 return Err(AccelError::BadConfig {
                     detail: format!("axis {d}: n={} range=[{},{}]", n[d], lo[d], hi[d]),
                 });
@@ -149,9 +151,7 @@ impl DirectTable {
                 rem %= strides[d];
             }
             let p: Vec<f64> = (0..DIMS)
-                .map(|d| {
-                    warp[d].from_param(idx[d] as f64 / (n[d] as f64 - 1.0), lo[d], hi[d])
-                })
+                .map(|d| warp[d].from_param(idx[d] as f64 / (n[d] as f64 - 1.0), lo[d], hi[d]))
                 .collect();
             // Definite integral from canonical params: the corner-difference
             // of the double primitive.
@@ -197,7 +197,8 @@ impl DirectTable {
         let mut base = [0usize; DIMS];
         let mut frac = [0.0f64; DIMS];
         for d in 0..DIMS {
-            let s = self.warp[d].to_param(p[d].clamp(self.lo[d], self.hi[d]), self.lo[d], self.hi[d]);
+            let s =
+                self.warp[d].to_param(p[d].clamp(self.lo[d], self.hi[d]), self.lo[d], self.hi[d]);
             let t = (s * (self.n[d] - 1) as f64).clamp(0.0, (self.n[d] - 1) as f64);
             let i = (t as usize).min(self.n[d] - 2);
             base[d] = i;

@@ -147,14 +147,13 @@ mod tests {
         BasisSet::new(vec![
             BasisFunction::new(0, vec![Template::flat(p(0.0, 0.0))]),
             BasisFunction::new(0, vec![Template::flat(p(0.0, 1.5))]),
-            BasisFunction::new(1, vec![
-                Template::flat(p(1.0, 0.5)),
-                Template::arch(
-                    p(1.0, 0.2),
-                    ShapeDir::U,
-                    ArchShape { center: 0.7, width: 0.3 },
-                ),
-            ]),
+            BasisFunction::new(
+                1,
+                vec![
+                    Template::flat(p(1.0, 0.5)),
+                    Template::arch(p(1.0, 0.2), ShapeDir::U, ArchShape { center: 0.7, width: 0.3 }),
+                ],
+            ),
             BasisFunction::new(1, vec![Template::flat(p(1.0, 2.0))]),
         ])
     }

@@ -351,10 +351,10 @@ mod tests {
     #[test]
     fn bus_crossing_counts_scale() {
         let p = BusParams::default();
-        let small = instantiate(&structures::bus_crossing(2, 2, p), &InstantiateConfig::default())
-            .unwrap();
-        let big = instantiate(&structures::bus_crossing(4, 4, p), &InstantiateConfig::default())
-            .unwrap();
+        let small =
+            instantiate(&structures::bus_crossing(2, 2, p), &InstantiateConfig::default()).unwrap();
+        let big =
+            instantiate(&structures::bus_crossing(4, 4, p), &InstantiateConfig::default()).unwrap();
         // 4 wires → 4 crossings; 8 wires → 16 crossings: superlinear growth
         // of induced functions, linear growth of face functions.
         assert!(big.basis_count() > 2 * small.basis_count());

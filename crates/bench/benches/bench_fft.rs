@@ -24,8 +24,7 @@ fn bench_fft_3d(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft_3d");
     group.sample_size(20);
     for &n in &[16usize, 32] {
-        let data: Vec<Complex> =
-            (0..n * n * n).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let data: Vec<Complex> = (0..n * n * n).map(|i| Complex::new(i as f64, 0.0)).collect();
         group.bench_with_input(BenchmarkId::new("cube", n), &n, |b, &n| {
             b.iter(|| {
                 let mut d = data.clone();

@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-use bemcap_accel::fastmath::{
-    fast_atan, fast_double_primitive, fast_ln, FastMathIntegrator,
-};
+use bemcap_accel::fastmath::{fast_atan, fast_double_primitive, fast_ln, FastMathIntegrator};
 use bemcap_accel::rational::RationalFit;
 use bemcap_accel::table3d::IndefiniteTable;
 use bemcap_accel::table6d::DirectTable;
@@ -87,10 +85,7 @@ fn bench_galerkin_pairs(c: &mut Criterion) {
             |_| {
                 eng.panel_pair(
                     &a,
-                    PanelShape::Shaped {
-                        dir: bemcap_quad::galerkin::ShapeDir::U,
-                        shape: &shape,
-                    },
+                    PanelShape::Shaped { dir: bemcap_quad::galerkin::ShapeDir::U, shape: &shape },
                     &b_par,
                     PanelShape::Flat,
                 )

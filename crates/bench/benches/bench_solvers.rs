@@ -25,9 +25,7 @@ fn bench_direct_solve(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("lu_factor_200", |b| b.iter(|| LuFactor::new(a.clone()).expect("lu")));
     let lu = LuFactor::new(a).expect("lu");
-    group.bench_function("lu_solve_200x2", |b| {
-        b.iter(|| lu.solve_matrix(&rhs).expect("solve"))
-    });
+    group.bench_function("lu_solve_200x2", |b| b.iter(|| lu.solve_matrix(&rhs).expect("solve")));
     group.finish();
 }
 

@@ -35,7 +35,11 @@ fn main() {
         ("tight reference", tight, false),
         ("default", default, false),
         ("default + fast primitives", default, true),
-        ("far_ratio 3 (aggressive point approx)", GalerkinConfig { far_ratio: 3.0, ..default }, false),
+        (
+            "far_ratio 3 (aggressive point approx)",
+            GalerkinConfig { far_ratio: 3.0, ..default },
+            false,
+        ),
         ("far_ratio 16 (conservative)", GalerkinConfig { far_ratio: 16.0, ..default }, false),
         ("near_order 3 (cheap quadrature)", GalerkinConfig { near_order: 3, ..default }, false),
         ("touch_subdiv 1 (no subdivision)", GalerkinConfig { touch_subdiv: 1, ..default }, false),

@@ -44,12 +44,12 @@ fn main() {
         .collect();
     prof.sort_by(|x, y| x.0.total_cmp(&y.0));
     // Average y-rows at equal x.
-    let mut xs = Vec::new();
+    let mut xs: Vec<f64> = Vec::new();
     let mut vals: Vec<f64> = Vec::new();
     let mut counts: Vec<usize> = Vec::new();
     for (x, v) in prof {
         if let Some(&last) = xs.last() {
-            if (x - last as f64).abs() < 1e-12 {
+            if (x - last).abs() < 1e-12 {
                 let k = vals.len() - 1;
                 vals[k] += v;
                 counts[k] += 1;

@@ -2,8 +2,8 @@
 //!
 //! * this work, shared-memory execution ("OpenMP");
 //! * this work, distributed-memory execution ("MPI");
-//! * the parallel fast-multipole baseline [7];
-//! * the parallel precorrected-FFT baseline [1].
+//! * the parallel fast-multipole baseline \[7\];
+//! * the parallel precorrected-FFT baseline \[1\].
 //!
 //! All four curves come from *measured* single-thread phase costs replayed
 //! on the deterministic machine simulator; the baselines run on the
@@ -31,8 +31,7 @@ use bemcap_quad::galerkin::GalerkinEngine;
 const DS: [usize; 6] = [1, 2, 4, 6, 8, 10];
 
 fn main() {
-    let size: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let size: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
 
     // ---- this work: measured chunk costs on the size×size bus ----
     eprintln!("measuring this work's setup costs ({size}x{size} bus)...");

@@ -30,13 +30,8 @@ fn main() {
 
     let exact: Vec<f64> = queries.iter().map(|q| analytic.eval(q)).collect();
     let mut rows = Vec::new();
-    let evaluators: Vec<(&dyn Integrator2d, &str)> = vec![
-        (&analytic, "0"),
-        (&direct, "1"),
-        (&indef, "2"),
-        (&fast, "3"),
-        (&rational, "4"),
-    ];
+    let evaluators: Vec<(&dyn Integrator2d, &str)> =
+        vec![(&analytic, "0"), (&direct, "1"), (&indef, "2"), (&fast, "3"), (&rational, "4")];
     let mut baseline = 0.0;
     for (technique, idx) in evaluators {
         let per_eval = time_per_call(20, || {

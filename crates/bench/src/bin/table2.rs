@@ -36,10 +36,7 @@ fn main() {
             Extractor::new().method(Method::InstantiableBasis).accelerated(true),
         ),
     ];
-    println!(
-        "{:<26}{:>12}{:>12}{:>10}{:>10}",
-        "Method", "Setup", "Total", "Memory", "Err vs ref"
-    );
+    println!("{:<26}{:>12}{:>12}{:>10}{:>10}", "Method", "Setup", "Total", "Memory", "Err vs ref");
     let mut rows = Vec::new();
     let mut totals = Vec::new();
     for (label, ex) in runs {
@@ -85,8 +82,10 @@ fn main() {
     }
     println!(
         "\nsetup-time improvement from acceleration: {:.0}%  (paper: 86%)",
-        100.0 * (1.0 - rows[2]["setup_seconds"].as_f64().unwrap()
-            / rows[1]["setup_seconds"].as_f64().unwrap())
+        100.0
+            * (1.0
+                - rows[2]["setup_seconds"].as_f64().unwrap()
+                    / rows[1]["setup_seconds"].as_f64().unwrap())
     );
     println!(
         "total speedup, accelerated instantiable vs FASTCAP-style: {:.1}x  (paper: 6.2x)",

@@ -19,8 +19,7 @@ use bemcap_par::{CommModel, MachineSim};
 use bemcap_quad::galerkin::GalerkinEngine;
 
 fn main() {
-    let size: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let size: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
     let geo = structures::bus_crossing(size, size, structures::BusParams::default());
     let set = instantiate(&geo, &InstantiateConfig::default()).expect("basis");
     let index = TemplateIndex::new(&set);
@@ -47,7 +46,13 @@ fn main() {
     let p = {
         // Small synthetic SPD stand-in of the same size for solve timing.
         let n = index.basis_count();
-        bemcap_linalg::Matrix::from_fn(n, n, |i, j| if i == j { 2.0 } else { 1.0 / (1.0 + (i + j) as f64) })
+        bemcap_linalg::Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                2.0
+            } else {
+                1.0 / (1.0 + (i + j) as f64)
+            }
+        })
     };
     let lu = bemcap_linalg::LuFactor::new(p).expect("lu");
     let _ = lu.solve_matrix(&asm).expect("solve");
@@ -63,8 +68,7 @@ fn main() {
     let phases = |d: usize, comm: CommModel| -> Vec<bemcap_par::Phase> {
         use bemcap_par::Phase;
         let ranges = bemcap_par::partition_ranges(costs.len(), d);
-        let node_costs: Vec<f64> =
-            ranges.iter().map(|r| costs[r.clone()].iter().sum()).collect();
+        let node_costs: Vec<f64> = ranges.iter().map(|r| costs[r.clone()].iter().sum()).collect();
         let mut bytes = vec![if d > 1 { partial_bytes } else { 0 }; d];
         bytes[0] = 0;
         let _ = comm;

@@ -143,8 +143,7 @@ impl Extractor {
         if geo.conductor_count() == 0 {
             return Err(CoreError::EmptyGeometry);
         }
-        let names: Vec<String> =
-            geo.conductors().iter().map(|c| c.name().to_string()).collect();
+        let names: Vec<String> = geo.conductors().iter().map(|c| c.name().to_string()).collect();
         match self.method {
             Method::InstantiableBasis => self.extract_instantiable(geo, names),
             Method::PwcDense => {
@@ -236,10 +235,9 @@ impl Extractor {
                     assembly::assemble_threaded(&eng, &index, &set, n_cond, geo.eps_rel(), t);
                 (a, t)
             }
-            Parallelism::MessagePassing(r) => (
-                assembly::assemble_distributed(&eng, &index, &set, n_cond, geo.eps_rel(), r),
-                r,
-            ),
+            Parallelism::MessagePassing(r) => {
+                (assembly::assemble_distributed(&eng, &index, &set, n_cond, geo.eps_rel(), r), r)
+            }
         };
         let n = index.basis_count();
         let memory = asm.p.memory_bytes() + asm.phi.memory_bytes();
@@ -369,11 +367,8 @@ mod tests {
         // a looser band and measure precisely in EXPERIMENTS.md).
         let geo = structures::crossing_wires(CrossingParams::default());
         let inst = Extractor::new().extract(&geo).unwrap();
-        let reference = Extractor::new()
-            .method(Method::PwcDense)
-            .mesh_divisions(16)
-            .extract(&geo)
-            .unwrap();
+        let reference =
+            Extractor::new().method(Method::PwcDense).mesh_divisions(16).extract(&geo).unwrap();
         let ci = -inst.capacitance().get(0, 1);
         let cr = -reference.capacitance().get(0, 1);
         let rel = (ci - cr).abs() / cr;
@@ -384,14 +379,9 @@ mod tests {
     fn all_parallel_modes_agree() {
         let geo = structures::crossing_wires(CrossingParams::default());
         let seq = Extractor::new().extract(&geo).unwrap();
-        let thr = Extractor::new()
-            .parallelism(Parallelism::Threads(3))
-            .extract(&geo)
-            .unwrap();
-        let mp = Extractor::new()
-            .parallelism(Parallelism::MessagePassing(3))
-            .extract(&geo)
-            .unwrap();
+        let thr = Extractor::new().parallelism(Parallelism::Threads(3)).extract(&geo).unwrap();
+        let mp =
+            Extractor::new().parallelism(Parallelism::MessagePassing(3)).extract(&geo).unwrap();
         for other in [&thr, &mp] {
             for i in 0..2 {
                 for j in 0..2 {
@@ -413,10 +403,7 @@ mod tests {
             for j in 0..2 {
                 let a = exact.capacitance().get(i, j);
                 let b = fast.capacitance().get(i, j);
-                assert!(
-                    (a - b).abs() < 0.01 * a.abs().max(b.abs()),
-                    "({i},{j}): {a} vs {b}"
-                );
+                assert!((a - b).abs() < 0.01 * a.abs().max(b.abs()), "({i},{j}): {a} vs {b}");
             }
         }
     }

@@ -43,7 +43,12 @@ impl DensePwcSolver {
             let pi = &mesh.panels()[i].panel;
             for j in i..n {
                 let v = scale
-                    * eng.panel_pair(pi, PanelShape::Flat, &mesh.panels()[j].panel, PanelShape::Flat);
+                    * eng.panel_pair(
+                        pi,
+                        PanelShape::Flat,
+                        &mesh.panels()[j].panel,
+                        PanelShape::Flat,
+                    );
                 p.set(i, j, v);
                 p.set(j, i, v);
             }

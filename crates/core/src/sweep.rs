@@ -54,20 +54,14 @@ mod tests {
         let ex = Extractor::new();
         let hs = [0.4e-6, 0.8e-6, 1.6e-6];
         let points = sweep(&ex, &hs, |h| {
-            let mut p = CrossingParams::default();
-            p.separation = h;
-            structures::crossing_wires(p)
+            structures::crossing_wires(CrossingParams { separation: h, ..Default::default() })
         })
         .expect("sweep");
         let curve = entry_curve(&points, 0, 1);
         assert_eq!(curve.len(), 3);
         // Coupling magnitude decreases monotonically with h.
         for w in curve.windows(2) {
-            assert!(
-                w[0].1.abs() > w[1].1.abs(),
-                "coupling must fall with h: {:?}",
-                curve
-            );
+            assert!(w[0].1.abs() > w[1].1.abs(), "coupling must fall with h: {:?}", curve);
         }
     }
 

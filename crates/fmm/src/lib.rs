@@ -1,6 +1,6 @@
 //! # bemcap-fmm — multipole-accelerated piecewise-constant BEM baseline
 //!
-//! The FASTCAP [4] stand-in: a piecewise-constant Galerkin BEM whose
+//! The FASTCAP \[4\] stand-in: a piecewise-constant Galerkin BEM whose
 //! matrix-vector product is accelerated by an octree of Cartesian
 //! multipole expansions (monopole + dipole + quadrupole) with a
 //! Barnes–Hut-style multipole acceptance criterion, wrapped in GMRES.
@@ -36,4 +36,4 @@ pub use error::FmmError;
 pub use multipole::Moments;
 pub use octree::Octree;
 pub use operator::{FmmConfig, FmmOperator};
-pub use solver::{FmmSolver, FmmSolution};
+pub use solver::{FmmSolution, FmmSolver};

@@ -107,8 +107,7 @@ impl Octree {
                 if oct & 2 != 0 { h2 } else { -h2 },
                 if oct & 4 != 0 { h2 } else { -h2 },
             );
-            let child =
-                self.subdivide(center + off, h2, level + 1, bucket, centers, leaf_size);
+            let child = self.subdivide(center + off, h2, level + 1, bucket, centers, leaf_size);
             children.push(child);
         }
         self.nodes[my_index].children = children;
@@ -183,8 +182,7 @@ mod tests {
         assert_eq!(root.count, m.panel_count());
         for n in tree.nodes() {
             if !n.is_leaf() {
-                let child_sum: usize =
-                    n.children.iter().map(|&c| tree.nodes()[c].count).sum();
+                let child_sum: usize = n.children.iter().map(|&c| tree.nodes()[c].count).sum();
                 assert_eq!(child_sum, n.count);
             } else {
                 assert_eq!(n.panels.len(), n.count);
@@ -222,7 +220,7 @@ mod tests {
         let geo = structures::cube(1.0);
         let m = Mesh::uniform(&geo, 1);
         let tree = Octree::build(m.panels(), 4);
-        assert!(tree.len() >= 1);
+        assert!(!tree.is_empty());
         assert_eq!(tree.nodes()[0].count, m.panel_count());
     }
 }

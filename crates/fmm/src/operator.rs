@@ -106,8 +106,13 @@ impl FmmOperator {
                     far_nodes[i].push(ni as u32);
                 } else if node.is_leaf() {
                     for &j in &node.panels {
-                        let val =
-                            scale * eng.panel_pair(ti, PanelShape::Flat, &panels[j].panel, PanelShape::Flat);
+                        let val = scale
+                            * eng.panel_pair(
+                                ti,
+                                PanelShape::Flat,
+                                &panels[j].panel,
+                                PanelShape::Flat,
+                            );
                         near[i].push((j as u32, val));
                         if j == i {
                             inv_diag[i] = 1.0 / val;
@@ -198,12 +203,12 @@ impl LinearOperator for FmmOperator {
         let t1 = Instant::now();
         t.upward += (t1 - t0).as_secs_f64();
         // Far field: y_i += A_i/(4πε) Σ φ_node(c_i).
-        for i in 0..y.len() {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut phi = 0.0;
             for &ni in &self.far_nodes[i] {
                 phi += moments[ni as usize].eval(self.centers[i]);
             }
-            y[i] = self.scale * self.areas[i] * phi;
+            *yi = self.scale * self.areas[i] * phi;
         }
         let t2 = Instant::now();
         t.far += (t2 - t1).as_secs_f64();
@@ -268,8 +273,7 @@ mod tests {
         op.apply(&x, &mut y);
         let y_ref = dense.matvec(&x);
         let norm: f64 = y_ref.iter().map(|v| v * v).sum::<f64>().sqrt();
-        let err: f64 =
-            y.iter().zip(&y_ref).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let err: f64 = y.iter().zip(&y_ref).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
         assert!(err / norm < 5e-3, "relative matvec error {}", err / norm);
         assert!(op.timings().count == 1);
     }
@@ -287,8 +291,7 @@ mod tests {
             let op = FmmOperator::new(&mesh, 1.0, FmmConfig { theta, leaf_size: 8 }).unwrap();
             let mut y = vec![0.0; n];
             op.apply(&x, &mut y);
-            let err: f64 =
-                y.iter().zip(&y_ref).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+            let err: f64 = y.iter().zip(&y_ref).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
             errs.push(err);
         }
         assert!(errs[1] < errs[0], "θ=0.3 ({}) should beat θ=0.8 ({})", errs[1], errs[0]);

@@ -1,4 +1,4 @@
-//! Parallel cost model of the multipole solver (the Fig. 8 "[7]" curve).
+//! Parallel cost model of the multipole solver (the Fig. 8 "\[7\]" curve).
 //!
 //! Why parallel FMM saturates (§1): the upward pass is a level-by-level
 //! reduction with a barrier per level — near the root only 8, then 1 nodes
@@ -24,7 +24,7 @@ pub struct FmmCostModel {
     pub n: usize,
     /// Krylov iterations (matvecs) in the solve.
     pub iterations: usize,
-    /// Serial setup seconds (the tree build, which [7] does not
+    /// Serial setup seconds (the tree build, which \[7\] does not
     /// parallelize).
     pub serial_setup: f64,
     /// Parallelizable setup seconds (the near-field precomputation, an

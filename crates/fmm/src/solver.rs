@@ -170,10 +170,7 @@ mod tests {
         let c = sol.capacitance.get(0, 0);
         let expect = 0.3667 * 4.0 * std::f64::consts::PI * EPS0;
         // Thin-box plate (two faces + rim) at moderate mesh: a few percent.
-        assert!(
-            (c - expect).abs() / expect < 0.1,
-            "unit plate C = {c}, literature {expect}"
-        );
+        assert!((c - expect).abs() / expect < 0.1, "unit plate C = {c}, literature {expect}");
     }
 
     #[test]

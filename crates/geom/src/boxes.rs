@@ -38,11 +38,8 @@ impl Box3 {
     pub fn new(a: Point3, b: Point3) -> Result<Box3, GeomError> {
         let min = a.min(b);
         let max = a.max(b);
-        let ok = min.is_finite()
-            && max.is_finite()
-            && max.x > min.x
-            && max.y > min.y
-            && max.z > min.z;
+        let ok =
+            min.is_finite() && max.is_finite() && max.x > min.x && max.y > min.y && max.z > min.z;
         if !ok {
             return Err(GeomError::DegenerateBox { detail: format!("corners {a} and {b}") });
         }
@@ -54,11 +51,7 @@ impl Box3 {
     /// # Errors
     ///
     /// Same as [`Box3::new`].
-    pub fn from_bounds(
-        x: (f64, f64),
-        y: (f64, f64),
-        z: (f64, f64),
-    ) -> Result<Box3, GeomError> {
+    pub fn from_bounds(x: (f64, f64), y: (f64, f64), z: (f64, f64)) -> Result<Box3, GeomError> {
         Box3::new(Point3::new(x.0, y.0, z.0), Point3::new(x.1, y.1, z.1))
     }
 

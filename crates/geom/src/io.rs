@@ -58,8 +58,7 @@ pub fn parse_geometry(text: &str) -> Result<Geometry, GeomError> {
                 eps_rel = v;
             }
             Some("conductor") => {
-                let name =
-                    tok.next().ok_or_else(|| parse_err(n, "conductor needs a name"))?;
+                let name = tok.next().ok_or_else(|| parse_err(n, "conductor needs a name"))?;
                 conductors.push(Conductor::new(name));
             }
             Some("box") => {
@@ -108,11 +107,7 @@ pub fn write_geometry(geo: &Geometry) -> String {
         let _ = writeln!(out, "conductor {}", c.name());
         for b in c.boxes() {
             let (lo, hi) = (b.min(), b.max());
-            let _ = writeln!(
-                out,
-                "box {} {} {} {} {} {}",
-                lo.x, lo.y, lo.z, hi.x, hi.y, hi.z
-            );
+            let _ = writeln!(out, "box {} {} {} {} {} {}", lo.x, lo.y, lo.z, hi.x, hi.y, hi.z);
         }
     }
     out
@@ -125,8 +120,8 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let geo = structures::bus_crossing(2, 3, structures::BusParams::default())
-            .with_eps_rel(3.9);
+        let geo =
+            structures::bus_crossing(2, 3, structures::BusParams::default()).with_eps_rel(3.9);
         let text = write_geometry(&geo);
         let back = parse_geometry(&text).unwrap();
         assert_eq!(back.conductor_count(), geo.conductor_count());
@@ -142,10 +137,7 @@ mod tests {
 
     #[test]
     fn error_cases() {
-        assert!(matches!(
-            parse_geometry("box 0 0 0 1 1 1"),
-            Err(GeomError::Parse { line: 1, .. })
-        ));
+        assert!(matches!(parse_geometry("box 0 0 0 1 1 1"), Err(GeomError::Parse { line: 1, .. })));
         assert!(matches!(
             parse_geometry("conductor a\nbox 0 0 0 1 1"),
             Err(GeomError::Parse { line: 2, .. })

@@ -119,10 +119,7 @@ impl Panel {
     /// Maps in-plane coordinates (u, v) to a 3-D point on the panel plane.
     pub fn point_at(&self, u: f64, v: f64) -> Point3 {
         let (ua, va) = self.normal.tangents();
-        Point3::ZERO
-            .with_component(self.normal, self.w)
-            .with_component(ua, u)
-            .with_component(va, v)
+        Point3::ZERO.with_component(self.normal, self.w).with_component(ua, u).with_component(va, v)
     }
 
     /// The four corners, counter-clockwise when viewed from +normal.

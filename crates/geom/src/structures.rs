@@ -21,12 +21,10 @@ pub const DEFAULT_SCALE: f64 = 1.0e-6;
 /// by `gap` along z. Conductor 0 is the bottom plate.
 pub fn parallel_plates(w: f64, l: f64, gap: f64) -> Geometry {
     let t = 0.05 * w;
-    let bottom = Conductor::new("bottom").with_box(
-        Box3::from_bounds((0.0, w), (0.0, l), (-t, 0.0)).expect("valid plate box"),
-    );
-    let top = Conductor::new("top").with_box(
-        Box3::from_bounds((0.0, w), (0.0, l), (gap, gap + t)).expect("valid plate box"),
-    );
+    let bottom = Conductor::new("bottom")
+        .with_box(Box3::from_bounds((0.0, w), (0.0, l), (-t, 0.0)).expect("valid plate box"));
+    let top = Conductor::new("top")
+        .with_box(Box3::from_bounds((0.0, w), (0.0, l), (gap, gap + t)).expect("valid plate box"));
     Geometry::new(vec![bottom, top])
 }
 
@@ -222,12 +220,8 @@ pub fn transistor_interconnect(p: TransistorParams) -> Geometry {
     // Gate connecting bar at the -y end, slightly below the fingers' span.
     let total_x = (p.fingers - 1) as f64 * p.finger_pitch + p.finger_width;
     gate.push_box(
-        Box3::from_bounds(
-            (0.0, total_x),
-            (-1.5 * p.finger_width, -0.5 * p.finger_width),
-            (0.0, t),
-        )
-        .expect("valid gate bar"),
+        Box3::from_bounds((0.0, total_x), (-1.5 * p.finger_width, -0.5 * p.finger_width), (0.0, t))
+            .expect("valid gate bar"),
     );
     // Source/drain straps between fingers, alternating nets, same level,
     // shortened so they do not touch the gate bar.
@@ -280,23 +274,16 @@ pub fn interdigitated_combs(fingers: usize, finger_len: f64, width: f64, gap: f6
     let mut b = Conductor::new("comb_b");
     // Spines.
     let total = fingers as f64 * pitch + width;
-    a.push_box(
-        Box3::from_bounds((0.0, total), (-2.0 * width, -width), (0.0, t)).expect("spine a"),
-    );
+    a.push_box(Box3::from_bounds((0.0, total), (-2.0 * width, -width), (0.0, t)).expect("spine a"));
     b.push_box(
-        Box3::from_bounds(
-            (0.0, total),
-            (finger_len + width, finger_len + 2.0 * width),
-            (0.0, t),
-        )
-        .expect("spine b"),
+        Box3::from_bounds((0.0, total), (finger_len + width, finger_len + 2.0 * width), (0.0, t))
+            .expect("spine b"),
     );
     for i in 0..fingers {
         let xa = i as f64 * pitch;
         let xb = xa + width + gap;
         a.push_box(
-            Box3::from_bounds((xa, xa + width), (-width, finger_len), (0.0, t))
-                .expect("finger a"),
+            Box3::from_bounds((xa, xa + width), (-width, finger_len), (0.0, t)).expect("finger a"),
         );
         b.push_box(
             Box3::from_bounds((xb, xb + width), (0.0, finger_len + width), (0.0, t))
@@ -320,9 +307,8 @@ pub fn plate_over_ground(plate: f64, ground: f64, gap: f64) -> Geometry {
         .expect("ground plane"),
     );
     let h = plate / 2.0;
-    let p = Conductor::new("sig").with_box(
-        Box3::from_bounds((-h, h), (-h, h), (gap, gap + t)).expect("signal plate"),
-    );
+    let p = Conductor::new("sig")
+        .with_box(Box3::from_bounds((-h, h), (-h, h), (gap, gap + t)).expect("signal plate"));
     Geometry::new(vec![g, p])
 }
 

@@ -155,10 +155,7 @@ mod tests {
     #[test]
     fn rejects_indefinite() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
-        assert!(matches!(
-            CholeskyFactor::new(&a),
-            Err(LinalgError::NotPositiveDefinite { .. })
-        ));
+        assert!(matches!(CholeskyFactor::new(&a), Err(LinalgError::NotPositiveDefinite { .. })));
     }
 
     #[test]

@@ -296,8 +296,8 @@ mod tests {
 
     #[test]
     fn gmres_nonsymmetric() {
-        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[0.1, 3.0, -1.0], &[0.0, 0.5, 4.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[0.1, 3.0, -1.0], &[0.0, 0.5, 4.0]]).unwrap();
         let b = vec![1.0, 2.0, 3.0];
         let op = DenseOperator::new(a.clone()).unwrap();
         let (x, _) = gmres(&op, &b, 3, 1e-13, 200).unwrap();

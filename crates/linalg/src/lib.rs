@@ -17,6 +17,10 @@
 //! # Ok::<(), bemcap_linalg::LinalgError>(())
 //! ```
 
+// The factorization/substitution kernels index several slices from one
+// textbook loop index; iterator rewrites obscure the formulas.
+#![allow(clippy::needless_range_loop)]
+
 pub mod blas;
 pub mod cholesky;
 pub mod error;

@@ -229,7 +229,12 @@ mod tests {
 
     #[test]
     fn matrix_rhs_round_trip() {
-        let a = Matrix::from_fn(5, 5, |i, j| if i == j { 10.0 } else { 1.0 / (1.0 + i as f64 + j as f64) });
+        let a =
+            Matrix::from_fn(
+                5,
+                5,
+                |i, j| if i == j { 10.0 } else { 1.0 / (1.0 + i as f64 + j as f64) },
+            );
         let x_true = Matrix::from_fn(5, 3, |i, j| (i + j) as f64 + 0.5);
         let b = a.matmul(&x_true).unwrap();
         let lu = LuFactor::new(a).unwrap();

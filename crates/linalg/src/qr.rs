@@ -61,7 +61,7 @@ impl QrFactor {
             // v = x - alpha e1, stored with v[k] implicit after scaling.
             let v0 = qr.get(k, k) - alpha;
             let beta = -v0 / alpha; // β = vᵀv/2 normalization folded in
-            // Store normalized v (v[k] = 1 implicitly): v[i] /= v0.
+                                    // Store normalized v (v[k] = 1 implicitly): v[i] /= v0.
             for i in (k + 1)..m {
                 let t = qr.get(i, k) / v0;
                 qr.set(i, k, t);

@@ -157,32 +157,24 @@ impl MachineSim {
                 }
                 Phase::Barrier => {
                     let max = clock.iter().cloned().fold(0.0, f64::max);
-                    for c in &mut clock {
-                        *c = max;
-                    }
+                    clock.fill(max);
                 }
                 Phase::Serial { seconds } => {
                     let max = clock.iter().cloned().fold(0.0, f64::max);
-                    for c in &mut clock {
-                        *c = max;
-                    }
+                    clock.fill(max);
                     clock[0] += seconds;
                     total_work += seconds;
                     // Later phases that need all nodes will re-sync; a
                     // serial region implicitly holds the others at the sync
                     // point.
                     let max = clock.iter().cloned().fold(0.0, f64::max);
-                    for c in &mut clock {
-                        *c = max;
-                    }
+                    clock.fill(max);
                 }
                 Phase::AllToAll { bytes } => {
                     if d > 1 {
                         let before = clock.iter().cloned().fold(0.0, f64::max);
                         let cost = (d - 1) as f64 * self.comm.message_cost(*bytes);
-                        for c in &mut clock {
-                            *c = before + cost;
-                        }
+                        clock.fill(before + cost);
                         comm_seconds += cost;
                     }
                 }
@@ -191,9 +183,7 @@ impl MachineSim {
                         let before = clock.iter().cloned().fold(0.0, f64::max);
                         let hops = (d as f64).log2().ceil();
                         let cost = hops * self.comm.message_cost(*bytes);
-                        for c in &mut clock {
-                            *c = before + cost;
-                        }
+                        clock.fill(before + cost);
                         comm_seconds += cost;
                     }
                 }
@@ -202,9 +192,8 @@ impl MachineSim {
                     // Node 0 drains the senders in arrival order; each
                     // transfer serializes on the receiver's link.
                     let mut t0 = clock[0];
-                    let mut arrivals: Vec<(f64, usize)> = (1..d)
-                        .map(|s| (clock[s] + self.comm.latency, bytes_per_node[s]))
-                        .collect();
+                    let mut arrivals: Vec<(f64, usize)> =
+                        (1..d).map(|s| (clock[s] + self.comm.latency, bytes_per_node[s])).collect();
                     arrivals.sort_by(|a, b| a.0.total_cmp(&b.0));
                     let before = t0;
                     for (arrival, bytes) in arrivals {
@@ -232,8 +221,7 @@ impl MachineSim {
         serial_post: f64,
     ) -> SimReport {
         let ranges = crate::partition::partition_ranges(task_costs.len(), self.nodes);
-        let costs: Vec<f64> =
-            ranges.iter().map(|r| task_costs[r.clone()].iter().sum()).collect();
+        let costs: Vec<f64> = ranges.iter().map(|r| task_costs[r.clone()].iter().sum()).collect();
         let mut bytes = vec![partial_bytes; self.nodes];
         bytes[0] = 0;
         self.simulate(&[
@@ -317,10 +305,8 @@ mod tests {
 
     #[test]
     fn single_node_has_no_comm() {
-        let r = machine(1).simulate(&[
-            Phase::AllToAll { bytes: 1 << 20 },
-            Phase::Broadcast { bytes: 1 << 20 },
-        ]);
+        let r = machine(1)
+            .simulate(&[Phase::AllToAll { bytes: 1 << 20 }, Phase::Broadcast { bytes: 1 << 20 }]);
         assert_eq!(r.makespan, 0.0);
         assert_eq!(r.comm_seconds, 0.0);
     }

@@ -254,10 +254,7 @@ mod tests {
             if comm.rank() == 0 {
                 comm.send_bytes(1, vec![1, 2, 3]).unwrap();
             } else {
-                assert!(matches!(
-                    comm.recv_f64s(0),
-                    Err(ParError::MalformedMessage { .. })
-                ));
+                assert!(matches!(comm.recv_f64s(0), Err(ParError::MalformedMessage { .. })));
             }
         });
     }

@@ -44,7 +44,11 @@ where
         // Sequential fast path: no thread machinery at all.
         let start = Instant::now();
         let out = work(0, ranges[0].clone());
-        let t = WorkerTiming { worker: 0, range: ranges[0].clone(), seconds: start.elapsed().as_secs_f64() };
+        let t = WorkerTiming {
+            worker: 0,
+            range: ranges[0].clone(),
+            seconds: start.elapsed().as_secs_f64(),
+        };
         return (vec![out], vec![t]);
     }
     let mut slots: Vec<Option<(T, WorkerTiming)>> = Vec::new();

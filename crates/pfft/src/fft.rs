@@ -55,10 +55,7 @@ impl Sub for Complex {
 impl Mul for Complex {
     type Output = Complex;
     fn mul(self, rhs: Complex) -> Complex {
-        Complex::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        Complex::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 
@@ -200,9 +197,7 @@ mod tests {
     use super::*;
 
     fn signal(n: usize) -> Vec<Complex> {
-        (0..n)
-            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
-            .collect()
+        (0..n).map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos())).collect()
     }
 
     #[test]
@@ -248,9 +243,8 @@ mod tests {
     #[test]
     fn three_dimensional_round_trip() {
         let (nx, ny, nz) = (4, 8, 2);
-        let orig: Vec<Complex> = (0..nx * ny * nz)
-            .map(|i| Complex::new(i as f64, (i % 3) as f64))
-            .collect();
+        let orig: Vec<Complex> =
+            (0..nx * ny * nz).map(|i| Complex::new(i as f64, (i % 3) as f64)).collect();
         let mut x = orig.clone();
         fft3_inplace(&mut x, nx, ny, nz, false);
         fft3_inplace(&mut x, nx, ny, nz, true);

@@ -8,7 +8,7 @@ use crate::error::PfftError;
 /// padding (×2 per axis for aperiodic convolution).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Grid {
-    /// Grid origin (node [0,0,0] position).
+    /// Grid origin (node \[0,0,0\] position).
     pub origin: Point3,
     /// Grid spacing.
     pub h: f64,
@@ -32,11 +32,9 @@ impl Grid {
         if panels.is_empty() {
             return Err(PfftError::EmptyMesh);
         }
-        let mean_edge = panels
-            .iter()
-            .map(|p| 0.5 * (p.panel.u_len() + p.panel.v_len()))
-            .sum::<f64>()
-            / panels.len() as f64;
+        let mean_edge =
+            panels.iter().map(|p| 0.5 * (p.panel.u_len() + p.panel.v_len())).sum::<f64>()
+                / panels.len() as f64;
         let h = mean_edge * spacing_factor;
         let mut lo = panels[0].panel.center();
         let mut hi = lo;
@@ -101,14 +99,14 @@ impl Grid {
         let fy = ((rel.y / self.h) - base[1] as f64).clamp(0.0, 1.0);
         let fz = ((rel.z / self.h) - base[2] as f64).clamp(0.0, 1.0);
         let mut out = [(0usize, 0.0f64); 8];
-        for c in 0..8usize {
+        for (c, slot) in out.iter_mut().enumerate() {
             let dx = c & 1;
             let dy = (c >> 1) & 1;
             let dz = (c >> 2) & 1;
             let w = (if dx == 1 { fx } else { 1.0 - fx })
                 * (if dy == 1 { fy } else { 1.0 - fy })
                 * (if dz == 1 { fz } else { 1.0 - fz });
-            out[c] = (self.flat(base[0] + dx, base[1] + dy, base[2] + dz), w);
+            *slot = (self.flat(base[0] + dx, base[1] + dy, base[2] + dz), w);
         }
         out
     }

@@ -1,7 +1,7 @@
 //! # bemcap-pfft — precorrected-FFT piecewise-constant BEM baseline
 //!
-//! The Phillips–White precorrected-FFT method [6], the second baseline the
-//! paper's Fig. 8 compares against (parallel version: Aluru et al. [1]).
+//! The Phillips–White precorrected-FFT method \[6\], the second baseline the
+//! paper's Fig. 8 compares against (parallel version: Aluru et al. \[1\]).
 //! The approximated matvec:
 //!
 //! 1. **project** panel charges onto a uniform grid (trilinear stencils);

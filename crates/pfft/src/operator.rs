@@ -97,8 +97,7 @@ impl PfftOperator {
         fft3_inplace(&mut kernel, px, py, pz, false);
         // Stencils.
         let centers: Vec<Point3> = panels.iter().map(|p| p.panel.center()).collect();
-        let stencils: Vec<[(usize, f64); 8]> =
-            centers.iter().map(|c| grid.stencil(*c)).collect();
+        let stencils: Vec<[(usize, f64); 8]> = centers.iter().map(|c| grid.stencil(*c)).collect();
         let areas: Vec<f64> = panels.iter().map(|p| p.panel.area()).collect();
         // Near zone via cell buckets.
         let mut buckets: HashMap<[usize; 3], Vec<usize>> = HashMap::new();
@@ -127,11 +126,8 @@ impl PfftOperator {
             for ox in -r..=r {
                 for oy in -r..=r {
                     for oz in -r..=r {
-                        let nc = [
-                            cell[0] as isize + ox,
-                            cell[1] as isize + oy,
-                            cell[2] as isize + oz,
-                        ];
+                        let nc =
+                            [cell[0] as isize + ox, cell[1] as isize + oy, cell[2] as isize + oz];
                         if nc.iter().any(|&v| v < 0) {
                             continue;
                         }
@@ -343,8 +339,7 @@ mod tests {
         op.apply(&x, &mut y);
         let y_ref = dense.matvec(&x);
         let norm: f64 = y_ref.iter().map(|v| v * v).sum::<f64>().sqrt();
-        let err: f64 =
-            y.iter().zip(&y_ref).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let err: f64 = y.iter().zip(&y_ref).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
         assert!(err / norm < 3e-2, "relative matvec error {}", err / norm);
         assert_eq!(op.timings().count, 1);
     }

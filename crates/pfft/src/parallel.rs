@@ -1,11 +1,11 @@
-//! Parallel cost model of the precorrected FFT (the Fig. 8 "[1]" curve).
+//! Parallel cost model of the precorrected FFT (the Fig. 8 "\[1\]" curve).
 //!
 //! The structural bottleneck: each 3-D FFT on a node-distributed grid
 //! needs global transposes (all-to-all of the whole grid) — twice per
 //! forward/inverse pair — plus the Krylov residual exchange every
 //! iteration. That communication is proportional to the *grid*, not the
 //! panel count, so efficiency collapses quickly (42 % at 8 nodes in the
-//! original paper [1]).
+//! original paper \[1\]).
 
 use bemcap_par::{CommModel, MachineSim, Phase};
 
@@ -73,11 +73,7 @@ pub fn pfft_phases(costs: &PfftCostModel, d: usize) -> Vec<Phase> {
 }
 
 /// Efficiency curve on the node counts `ds` relative to one node.
-pub fn efficiency_curve(
-    costs: &PfftCostModel,
-    comm: CommModel,
-    ds: &[usize],
-) -> Vec<(usize, f64)> {
+pub fn efficiency_curve(costs: &PfftCostModel, comm: CommModel, ds: &[usize]) -> Vec<(usize, f64)> {
     let t1 = MachineSim::new(1, comm).simulate(&pfft_phases(costs, 1)).makespan;
     ds.iter()
         .map(|&d| {
@@ -119,10 +115,7 @@ mod tests {
     #[test]
     fn phase_list_has_transposes() {
         let phases = pfft_phases(&costs(), 4);
-        let transposes = phases
-            .iter()
-            .filter(|p| matches!(p, Phase::AllToAll { .. }))
-            .count();
+        let transposes = phases.iter().filter(|p| matches!(p, Phase::AllToAll { .. })).count();
         // 4 transposes + 1 residual exchange per iteration.
         assert_eq!(transposes, costs().iterations * 5);
     }

@@ -73,8 +73,7 @@ pub fn rect_potential(x0: f64, x1: f64, y0: f64, y1: f64, z: f64, px: f64, py: f
     let ulo = px - x1;
     let vhi = py - y0;
     let vlo = py - y1;
-    double_primitive(uhi, vhi, z) - double_primitive(uhi, vlo, z)
-        - double_primitive(ulo, vhi, z)
+    double_primitive(uhi, vhi, z) - double_primitive(uhi, vlo, z) - double_primitive(ulo, vhi, z)
         + double_primitive(ulo, vlo, z)
 }
 
@@ -218,13 +217,7 @@ pub fn galerkin_parallel(
 /// of 1/r at perpendicular separation `z`:
 ///
 /// I₃(x) = ∫_{av} ∬_B 1/‖r−r′‖ — one numerical dimension left out of four.
-pub fn strip_potential(
-    x: f64,
-    bx: (f64, f64),
-    av: (f64, f64),
-    bv: (f64, f64),
-    z: f64,
-) -> f64 {
+pub fn strip_potential(x: f64, bx: (f64, f64), av: (f64, f64), bv: (f64, f64), z: f64) -> f64 {
     let mut acc = 0.0;
     for (j, &bxj) in [bx.0, bx.1].iter().enumerate() {
         let u = x - bxj;
@@ -381,9 +374,8 @@ mod tests {
         // Known value: ∬∬_{[0,1]²×[0,1]²} 1/|r−r'| = (2/3)·[3·ln(1+√2)+2−√2]
         //            ≈ 2.97349...  (classic result for the unit square).
         let v = self_term(1.0, 1.0);
-        let expect = 2.0 * (3.0 * (1.0 + 2.0_f64.sqrt()).ln() + 2.0 - 2.0_f64.sqrt()) / 3.0
-            * 2.0
-            / 2.0;
+        let expect =
+            2.0 * (3.0 * (1.0 + 2.0_f64.sqrt()).ln() + 2.0 - 2.0_f64.sqrt()) / 3.0 * 2.0 / 2.0;
         // Literature value ~ 3.525494... wait — cross-check numerically
         // against adaptive quadrature instead of a literature constant:
         let reference = crate::numint::galerkin_bruteforce(
@@ -423,9 +415,8 @@ mod tests {
         // u-range and the coplanar case.
         let rule = GaussRule::new(32);
         for &(x, z) in &[(2.5_f64, 0.8_f64), (0.3, 0.8), (-1.0, 0.0), (0.5, 0.0)] {
-            let reference = rule.integrate(0.0, 1.5, |y| {
-                rect_potential(0.0, 1.0, -0.5, 0.5, z, x, y)
-            });
+            let reference =
+                rule.integrate(0.0, 1.5, |y| rect_potential(0.0, 1.0, -0.5, 0.5, z, x, y));
             let got = strip_potential(x, (0.0, 1.0), (0.0, 1.5), (-0.5, 0.5), z);
             // Coplanar x inside B's range makes the reference rule itself
             // slightly inaccurate; keep a modest tolerance there.
@@ -448,7 +439,9 @@ mod tests {
         assert!((got - reference).abs() < 1e-10 * reference, "{got} vs {reference}");
         // With plane separation.
         let reference = rule.integrate(0.0, 1.0, |y| {
-            rule.integrate(0.5, 2.0, |yp| 1.0 / (0.3_f64 * 0.3 + 0.2 * 0.2 + (y - yp).powi(2)).sqrt())
+            rule.integrate(0.5, 2.0, |yp| {
+                1.0 / (0.3_f64 * 0.3 + 0.2 * 0.2 + (y - yp).powi(2)).sqrt()
+            })
         });
         let got = line_pair_potential(0.3, (0.0, 1.0), (0.5, 2.0), 0.2);
         assert!((got - reference).abs() < 1e-10 * reference, "{got} vs {reference}");
@@ -463,8 +456,7 @@ mod tests {
         // this expression.)
         let got = line_pair_potential(0.0, (0.0, 1.0), (2.0, 3.0), 0.0);
         let rule = GaussRule::new(48);
-        let reference = rule
-            .integrate(0.0, 1.0, |y| rule.integrate(2.0, 3.0, |yp| 1.0 / (yp - y)));
+        let reference = rule.integrate(0.0, 1.0, |y| rule.integrate(2.0, 3.0, |yp| 1.0 / (yp - y)));
         assert!((got - reference).abs() < 1e-10 * reference, "{got} vs {reference}");
     }
 

@@ -159,13 +159,7 @@ impl GalerkinEngine {
 
     /// Integral of `wa(r) wb(r′) / ‖r − r′‖` over the two panels (raw
     /// kernel — callers divide by 4πε).
-    pub fn panel_pair(
-        &self,
-        a: &Panel,
-        sa: PanelShape<'_>,
-        b: &Panel,
-        sb: PanelShape<'_>,
-    ) -> f64 {
+    pub fn panel_pair(&self, a: &Panel, sa: PanelShape<'_>, b: &Panel, sb: PanelShape<'_>) -> f64 {
         let size = a.diameter().max(b.diameter());
         let gap = aabb_gap(a, b);
         // Far field: lowest-dimensional expression (point-point).
@@ -248,7 +242,13 @@ impl GalerkinEngine {
             // Parallel or coplanar: exact 4-D closed form via the
             // injectable quadruple primitive.
             let z = a.w() - b.w();
-            return self.galerkin_parallel_injected(a.u_range(), a.v_range(), b.u_range(), b.v_range(), z);
+            return self.galerkin_parallel_injected(
+                a.u_range(),
+                a.v_range(),
+                b.u_range(),
+                b.v_range(),
+                z,
+            );
         }
         // Perpendicular: outer quadrature of the inner 2-D analytic form.
         self.outer_quadrature(a, |_u, _v| 1.0, gap, size, |p| self.potential_at(b, p))
@@ -312,9 +312,8 @@ impl GalerkinEngine {
                         // aligned quadrature nodes — those (rare, arch×arch
                         // on one face) go through the robust fallback.
                         if !(da == db && z == 0.0) {
-                            return self.shaped_shaped_parallel(
-                                outer, da, sa, inner, db, sb, z, segments,
-                            );
+                            return self
+                                .shaped_shaped_parallel(outer, da, sa, inner, db, sb, z, segments);
                         }
                     }
                 }
@@ -399,8 +398,7 @@ impl GalerkinEngine {
             // both unshaped ranges corner-difference through the twice-in-v
             // primitive (with log-kernel fallback when nodes align).
             let outer = |x: f64| {
-                let inner =
-                    |xp: f64| sb(xp) * analytic::line_pair_potential(x - xp, a_t, b_t, z);
+                let inner = |xp: f64| sb(xp) * analytic::line_pair_potential(x - xp, a_t, b_t, z);
                 sa(x) * self.composite_1d_seg(b_s, segments, &inner)
             };
             self.composite_1d_seg(a_s, segments, &outer)
@@ -548,7 +546,8 @@ mod tests {
         let a = panel(Axis::X, 0.0, (0.0, 1.0), (0.0, 2.0));
         let b = panel(Axis::X, 1.5, (0.5, 1.5), (0.0, 2.0));
         let got = eng.panel_pair(&a, PanelShape::Flat, &b, PanelShape::Flat);
-        let reference = numint::galerkin_bruteforce((0.0, 1.0), (0.0, 2.0), (0.5, 1.5), (0.0, 2.0), 1.5, 2, 16);
+        let reference =
+            numint::galerkin_bruteforce((0.0, 1.0), (0.0, 2.0), (0.5, 1.5), (0.0, 2.0), 1.5, 2, 16);
         assert!((got - reference).abs() < 1e-8 * reference, "{got} vs {reference}");
     }
 
@@ -599,10 +598,7 @@ mod tests {
                 });
             }
         }
-        assert!(
-            (got - reference).abs() < 5e-3 * reference,
-            "{got} vs {reference}"
-        );
+        assert!((got - reference).abs() < 5e-3 * reference, "{got} vs {reference}");
     }
 
     #[test]

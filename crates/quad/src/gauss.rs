@@ -84,10 +84,7 @@ impl GaussRule {
     pub fn mapped(&self, a: f64, b: f64) -> impl Iterator<Item = (f64, f64)> + '_ {
         let c = 0.5 * (a + b);
         let h = 0.5 * (b - a);
-        self.nodes
-            .iter()
-            .zip(&self.weights)
-            .map(move |(&x, &w)| (c + h * x, h * w))
+        self.nodes.iter().zip(&self.weights).map(move |(&x, &w)| (c + h * x, h * w))
     }
 
     /// Integrates `f` over [a, b].
@@ -97,14 +94,7 @@ impl GaussRule {
 
     /// Integrates `f(x, y)` over the rectangle [a, b] × [c, d] with the
     /// tensor-product rule.
-    pub fn integrate_2d(
-        &self,
-        a: f64,
-        b: f64,
-        c: f64,
-        d: f64,
-        f: impl Fn(f64, f64) -> f64,
-    ) -> f64 {
+    pub fn integrate_2d(&self, a: f64, b: f64, c: f64, d: f64, f: impl Fn(f64, f64) -> f64) -> f64 {
         let mut acc = 0.0;
         for (x, wx) in self.mapped(a, b) {
             for (y, wy) in self.mapped(c, d) {
@@ -154,7 +144,8 @@ mod tests {
             let deg = 2 * n - 1;
             let val = r.integrate(-1.0, 1.0, |x| x.powi(deg as i32) + x.powi((deg - 1) as i32));
             // odd power integrates to 0; even power deg-1: 2/(deg)
-            let expect = if (deg - 1) % 2 == 0 { 2.0 / deg as f64 } else { 2.0 / (deg as f64 + 1.0) };
+            let expect =
+                if (deg - 1) % 2 == 0 { 2.0 / deg as f64 } else { 2.0 / (deg as f64 + 1.0) };
             assert!((val - expect).abs() < 1e-12, "order {n}");
         }
     }

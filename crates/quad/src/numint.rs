@@ -102,8 +102,7 @@ pub fn weighted_bruteforce(
                                     if r2 == 0.0 {
                                         continue;
                                     }
-                                    acc += wx * wy * wxp * wyp * wa(x, y) * wb(xp, yp)
-                                        / r2.sqrt();
+                                    acc += wx * wy * wxp * wyp * wa(x, y) * wb(xp, yp) / r2.sqrt();
                                 }
                             }
                         }

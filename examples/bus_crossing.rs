@@ -13,8 +13,7 @@ use bemcap_core::extraction::Parallelism;
 use bemcap_core::Method;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let size: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let size: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
     let geo = structures::bus_crossing(size, size, structures::BusParams::default());
     println!("{size}x{size} crossing bus: {} conductors\n", geo.conductor_count());
 

@@ -1,5 +1,6 @@
-//! Coupling capacitance vs wire separation: the engineering curve behind
-//! the paper's h-parameterized templates, produced with the sweep API.
+//! Coupling capacitance vs wire separation h on the Fig. 1 crossing pair:
+//! the engineering curve behind the paper's h-parameterized arch templates
+//! (§2.2, Fig. 2's a(h), b(h) laws), produced with the sweep API.
 //!
 //! Run with: `cargo run --release --example coupling_sweep`
 
@@ -11,9 +12,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let extractor = Extractor::new();
     let hs: Vec<f64> = (1..=8).map(|i| 0.25e-6 * i as f64).collect();
     let points = sweep(&extractor, &hs, |h| {
-        let mut p = CrossingParams::default();
-        p.separation = h;
-        structures::crossing_wires(p)
+        structures::crossing_wires(CrossingParams { separation: h, ..Default::default() })
     })?;
     let curve = entry_curve(&points, 0, 1);
     println!("crossing-wire coupling capacitance vs separation h\n");

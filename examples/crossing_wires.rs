@@ -27,10 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         samples.push(s);
     }
     let laws = fit_laws(&samples)?;
-    println!(
-        "\nfitted laws:  b(h) = {:.3}·h   e(h) = {:.3}·h",
-        laws.width_coeff, laws.ext_coeff
-    );
+    println!("\nfitted laws:  b(h) = {:.3}·h   e(h) = {:.3}·h", laws.width_coeff, laws.ext_coeff);
     println!("(defaults shipped in ArchLaws::default(): b = 1.0·h, e = 3.0·h)");
     Ok(())
 }

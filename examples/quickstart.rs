@@ -29,8 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Reference: a finely discretized piecewise-constant dense solve.
-    let reference =
-        Extractor::new().method(Method::PwcDense).mesh_divisions(16).extract(&geo)?;
+    let reference = Extractor::new().method(Method::PwcDense).mesh_divisions(16).extract(&geo)?;
     println!("\n--- piecewise-constant dense reference ---");
     println!("{}", reference.capacitance());
     println!("reference panels: {}", reference.report().n);

@@ -19,8 +19,7 @@ fn all_assembly_modes_bitwise_close() {
     let nc = geo.conductor_count();
     let seq = assembly::assemble_sequential(&eng, &index, &set, nc, 1.0);
     for workers in 1..=4 {
-        let (thr, timings) =
-            assembly::assemble_threaded(&eng, &index, &set, nc, 1.0, workers);
+        let (thr, timings) = assembly::assemble_threaded(&eng, &index, &set, nc, 1.0, workers);
         assert_eq!(timings.len(), workers);
         assert!((&seq.p - &thr.p).max_abs() < 1e-10 * seq.p.max_abs());
         let dist = assembly::assemble_distributed(&eng, &index, &set, nc, 1.0, workers);
@@ -100,9 +99,8 @@ fn measured_chunk_costs_drive_high_efficiency() {
     let index = TemplateIndex::new(&set);
     let eng = GalerkinEngine::default();
     let costs = assembly::measure_chunk_costs(&eng, &index, 1.0, 512);
-    let t1 = MachineSim::new(1, CommModel::shared_memory())
-        .simulate_setup(&costs, 0, 0.0, 0.0)
-        .makespan;
+    let t1 =
+        MachineSim::new(1, CommModel::shared_memory()).simulate_setup(&costs, 0, 0.0, 0.0).makespan;
     // Thresholds are loose because this small bus has few entries and the
     // costs are measured in a debug build on a shared host: partition
     // granularity and timer noise dominate at high D. The release-build

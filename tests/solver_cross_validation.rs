@@ -31,10 +31,7 @@ fn four_solvers_agree_on_crossing_wires() {
             for j in 0..2 {
                 let a = dense.get(i, j);
                 let b = c.get(i, j);
-                assert!(
-                    (a - b).abs() < 3e-2 * a.abs(),
-                    "{name} ({i},{j}): {b} vs dense {a}"
-                );
+                assert!((a - b).abs() < 3e-2 * a.abs(), "{name} ({i},{j}): {b} vs dense {a}");
             }
         }
     }
@@ -44,10 +41,7 @@ fn four_solvers_agree_on_crossing_wires() {
     // reports for coarse template sets.
     let ci = -inst.get(0, 1);
     let cd = -dense.get(0, 1);
-    assert!(
-        (ci - cd).abs() / cd < 0.3,
-        "instantiable coupling {ci} vs dense {cd}"
-    );
+    assert!((ci - cd).abs() / cd < 0.3, "instantiable coupling {ci} vs dense {cd}");
 }
 
 #[test]

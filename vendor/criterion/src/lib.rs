@@ -1,0 +1,275 @@
+//! Offline stub of `criterion`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal stand-in (see `vendor/README.md`). It implements the
+//! subset of the criterion API the `bemcap-bench` benches use — groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, and the `criterion_group!` / `criterion_main!` macros —
+//! with a plain fixed-budget timer instead of criterion's statistical
+//! machinery: each benchmark is warmed up, run for a small wall-clock
+//! budget, and reported as mean time per iteration on stdout.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stub times each routine
+/// call individually, so the variants only exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh input every iteration.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing collector passed to each benchmark closure.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn with_budget(budget: Duration) -> Self {
+        Bencher { total: Duration::ZERO, iters: 0, budget }
+    }
+
+    /// Times `routine` repeatedly until the time budget is spent.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up call, also the duration estimate for batching.
+        let start = Instant::now();
+        std_black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        // Batch enough calls that Instant overhead stays negligible.
+        let batch = (Duration::from_micros(50).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            self.total += start.elapsed();
+            self.iters += batch as u64;
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only the routine is
+    /// on the clock.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.iters == 0 {
+            Duration::ZERO
+        } else {
+            self.total / u32::try_from(self.iters).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn run_one(label: &str, budget: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::with_budget(budget);
+    f(&mut b);
+    println!("{label:<50} time: [{}]  ({} iterations)", fmt_duration(b.mean()), b.iters);
+}
+
+/// The benchmark manager handed to each `criterion_group!` function.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { budget: Duration::from_millis(60) }
+    }
+}
+
+impl Criterion {
+    /// Accepted for compatibility with criterion's generated main; the
+    /// stub has no CLI options.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into().id, self.budget, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), budget: self.budget, _parent: self }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stub keys its effort off a
+    /// wall-clock budget, not a sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into().id), self.budget, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.id), self.budget, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Stub of `criterion_group!`: defines a function running each benchmark
+/// function against a default [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Stub of `criterion_main!`: defines `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_counts_iterations() {
+        let mut b = Bencher::with_budget(Duration::from_millis(5));
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert!(b.iters > 0);
+        assert_eq!(calls, b.iters + 1); // +1 warm-up call
+        assert!(b.mean() <= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut b = Bencher::with_budget(Duration::from_millis(2));
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("cube", 16).id, "cube/16");
+        assert_eq!(BenchmarkId::from_parameter(256).id, "256");
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion { budget: Duration::from_millis(1) };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("f", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("p", 3), &3, |b, &n| b.iter(|| n * 2));
+        group.finish();
+    }
+}

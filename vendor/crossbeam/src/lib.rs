@@ -1,0 +1,145 @@
+//! Offline stub of `crossbeam`, backed by `std`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal stand-in (see `vendor/README.md`). It provides the
+//! two facilities `bemcap-par` uses, mapped onto their modern `std`
+//! equivalents:
+//!
+//! * [`channel::unbounded`] — over [`std::sync::mpsc::channel`]. The
+//!   workspace uses one channel per ordered rank pair, so MPMC semantics
+//!   are not needed;
+//! * [`thread::scope`] — over [`std::thread::scope`] (stable since Rust
+//!   1.63, after crossbeam pioneered the API). One behavioral divergence:
+//!   if a spawned thread panics, `std` propagates the panic when the scope
+//!   exits rather than returning `Err`, so the `Result` returned here is
+//!   always `Ok`. Every call site immediately `.expect()`s the result, so
+//!   the observable behavior (a panic) is identical.
+
+/// Multi-producer channels (stub of `crossbeam-channel`).
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    /// Sending half of an unbounded channel.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// Receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Sender<T> {
+        /// Sends a message; fails only if the receiver was dropped.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SendError`] carrying the message back if the channel
+        /// is disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; fails if all senders dropped
+        /// and the queue is drained.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] if the channel is disconnected and empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+    }
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+/// Scoped threads (stub of `crossbeam-utils`' `thread` module).
+pub mod thread {
+    /// A scope handle passed to [`scope`]'s closure and to each spawned
+    /// thread's closure (crossbeam's signature; the workspace ignores the
+    /// per-thread argument).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a [`Scope`] so it
+        /// can spawn further threads, mirroring crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all threads are joined before `scope` returns.
+    ///
+    /// # Errors
+    ///
+    /// Always `Ok` in the stub: a panicking child thread propagates its
+    /// panic out of the underlying [`std::thread::scope`] instead of being
+    /// captured into an `Err` as crossbeam does.
+    #[allow(clippy::missing_panics_doc)] // the propagated child panic, documented above
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut partial = [0u64; 2];
+        super::thread::scope(|scope| {
+            let (lo, hi) = partial.split_at_mut(1);
+            let data = &data;
+            scope.spawn(move |_| lo[0] = data[..2].iter().sum());
+            scope.spawn(move |_| hi[0] = data[2..].iter().sum());
+        })
+        .expect("scope");
+        assert_eq!(partial, [3, 7]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let result = super::thread::scope(|scope| {
+            scope.spawn(|inner| inner.spawn(|_| 21).join().map(|x| x * 2).unwrap()).join().unwrap()
+        })
+        .expect("scope");
+        assert_eq!(result, 42);
+    }
+
+    #[test]
+    fn unbounded_channel_fifo() {
+        let (tx, rx) = super::channel::unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_after_sender_drop_errors() {
+        let (tx, rx) = super::channel::unbounded::<u8>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,239 @@
+//! Offline stub of `proptest`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal stand-in (see `vendor/README.md`). It supports the
+//! subset the workspace's property tests use: the [`proptest!`] macro
+//! over functions whose inputs are numeric range strategies, plus
+//! [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Differences from the real crate, by design of the stub:
+//!
+//! * sampling is a fixed-seed deterministic PRNG (seeded from the test
+//!   name), so failures reproduce without a persistence file;
+//! * the first two cases pin each input to its range endpoints, a crude
+//!   stand-in for proptest's edge-biased generators; there is no
+//!   shrinking — the failing case's values appear in the panic message
+//!   via the assertion text instead;
+//! * `prop_assert!` panics (like `assert!`) rather than returning a
+//!   `TestCaseError`.
+
+/// Deterministic case generation: PRNG, case count, and the entry points
+/// the [`proptest!`] macro expands to.
+pub mod test_runner {
+    /// Cases run per property (the workspace configures 64 or fewer in
+    /// the real crate; the stub always runs a fixed count).
+    pub const CASES: usize = 64;
+
+    /// Accepted by the `#![proptest_config(...)]` line for source
+    /// compatibility; the stub ignores it.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct ProptestConfig;
+
+    impl ProptestConfig {
+        /// Compatibility constructor; the stub always runs [`CASES`] cases.
+        #[must_use]
+        pub fn with_cases(_cases: u32) -> Self {
+            ProptestConfig
+        }
+    }
+
+    /// A splitmix64 PRNG, seeded from the property's name.
+    #[derive(Debug, Clone)]
+    pub struct Rng(u64);
+
+    impl Rng {
+        /// Seeds deterministically from the test name.
+        #[must_use]
+        pub fn from_name(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Rng(h)
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Range-based input strategies for the [`proptest!`] macro.
+pub mod strategy {
+    use super::test_runner::Rng;
+    use std::ops::Range;
+
+    /// Types that can produce a sample for case `case` of a property run.
+    pub trait Sample {
+        /// The generated input type.
+        type Value;
+        /// Draws the input for one case. Implementations pin the first
+        /// two cases to the range endpoints.
+        fn sample(&self, case: usize, rng: &mut Rng) -> Self::Value;
+    }
+
+    impl Sample for Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, case: usize, rng: &mut Rng) -> f64 {
+            let width = self.end - self.start;
+            match case {
+                0 => self.start,
+                1 => f64::max(self.start, self.end - 1e-9 * width.abs().max(1.0)),
+                _ => self.start + rng.next_unit_f64() * width,
+            }
+        }
+    }
+
+    macro_rules! impl_sample_int {
+        ($($t:ty),*) => {
+            $(impl Sample for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, case: usize, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end - self.start) as u128;
+                    match case {
+                        0 => self.start,
+                        1 => self.end - 1,
+                        _ => self.start + (u128::from(rng.next_u64()) % span) as $t,
+                    }
+                }
+            })*
+        };
+    }
+
+    impl_sample_int!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_sample_signed {
+        ($($t:ty => $u:ty),*) => {
+            $(impl Sample for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, case: usize, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    match case {
+                        0 => self.start,
+                        1 => self.end - 1,
+                        _ => (self.start as i128
+                            + (u128::from(rng.next_u64()) % span) as i128) as $t,
+                    }
+                }
+            })*
+        };
+    }
+
+    impl_sample_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+}
+
+/// The glob-import surface property tests use.
+pub mod prelude {
+    pub use crate::strategy::Sample;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Stub of `proptest!`: expands each property into a plain `#[test]`
+/// running a fixed number of deterministically sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { $($rest)* }
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_runner::Rng::from_name(stringify!($name));
+                for case in 0..$crate::test_runner::CASES {
+                    $(let $arg = $crate::strategy::Sample::sample(&($strat), case, &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Stub of `prop_assert!`: plain `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Stub of `prop_assert_eq!`: plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Sample;
+    use crate::test_runner::Rng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro expands doc-commented, multi-arg properties.
+        #[test]
+        fn macro_generates_runnable_tests(a in 0usize..10, b in -1.0..1.0f64) {
+            prop_assert!(a < 10);
+            prop_assert!((-1.0..1.0).contains(&b), "b={b}");
+            prop_assert_eq!(a, a);
+        }
+    }
+
+    #[test]
+    fn prelude_exports_config_constructor() {
+        let _ = ProptestConfig::with_cases(8);
+    }
+
+    #[test]
+    fn ranges_sample_within_bounds_and_hit_endpoints() {
+        let mut rng = Rng::from_name("bounds");
+        let r = 3usize..17;
+        assert_eq!(r.sample(0, &mut rng), 3);
+        assert_eq!(r.sample(1, &mut rng), 16);
+        for case in 2..200 {
+            let v = r.sample(case, &mut rng);
+            assert!((3..17).contains(&v));
+        }
+        let f = -2.0..2.0f64;
+        assert_eq!(f.sample(0, &mut rng), -2.0);
+        for case in 2..200 {
+            let v = f.sample(case, &mut rng);
+            assert!((-2.0..2.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let a: Vec<u64> = {
+            let mut r = Rng::from_name("x");
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::from_name("x");
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Rng::from_name("y");
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

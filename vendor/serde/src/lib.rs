@@ -1,0 +1,17 @@
+//! Offline stub of `serde`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal stand-in (see `vendor/README.md`). It re-exports the
+//! stub derive macros and declares empty marker traits under the same
+//! names, mirroring the real crate's macro/trait namespace layout.
+//! Workspace code only *derives* these traits (as a forward-compatibility
+//! marker); nothing consumes them through bounds, so the traits carry no
+//! methods and the derives emit no impls.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no required methods).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no required methods).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal stand-in (see `vendor/README.md`). Nothing in the
+//! workspace consumes `Serialize`/`Deserialize` impls through trait
+//! bounds — the derives only mark types as serialization-ready for a
+//! future swap to the real serde — so both macros expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Stub of `serde_derive::Serialize`: accepts the item, emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Stub of `serde_derive::Deserialize`: accepts the item, emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

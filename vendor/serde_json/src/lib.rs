@@ -1,0 +1,346 @@
+//! Offline stub of `serde_json`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal stand-in (see `vendor/README.md`). It covers exactly
+//! the surface the `bemcap-bench` harness uses: a [`Value`] tree built
+//! with the [`json!`] macro from Rust primitives, indexing by key or
+//! position, [`Value::as_f64`], and [`to_string_pretty`] /
+//! [`to_string`] emitting standard JSON. There is no deserializer and no
+//! serde integration: values are built programmatically, not derived.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON value tree.
+///
+/// Objects preserve insertion order (the real crate's `preserve_order`
+/// feature) so the emitted records stay in the order the bench harness
+/// wrote them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number. Stored as `f64`; non-finite values serialize as `null`
+    /// (matching the real crate, which has no representation for them).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object as an ordered key/value list.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns the number as `f64` if this is a [`Value::Number`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the string slice if this is a [`Value::String`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    /// Panics with a descriptive message if `key` is absent or `self` is
+    /// not an object (the real crate returns `Value::Null`; panicking here
+    /// surfaces typos in bench field names instead of silently yielding
+    /// `null`).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or_else(|| panic!("no key {key:?} in JSON value"))
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => &items[idx],
+            other => panic!("cannot index non-array JSON value {other:?} with {idx}"),
+        }
+    }
+}
+
+macro_rules! impl_from_number {
+    ($($t:ty),*) => {
+        $(impl From<$t> for Value {
+            fn from(n: $t) -> Value {
+                Value::Number(n as f64)
+            }
+        })*
+    };
+}
+
+impl_from_number!(f64, f32, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(s: &String) -> Value {
+        Value::String(s.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Value {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(items: &[T]) -> Value {
+        Value::Array(items.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>, const N: usize> From<[T; N]> for Value {
+    fn from(items: [T; N]) -> Value {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(opt: Option<T>) -> Value {
+        opt.map_or(Value::Null, Into::into)
+    }
+}
+
+/// Error type of the serializers. The stub serializer is infallible, so
+/// this is never constructed; it exists so call sites match the real
+/// crate's `Result` signatures.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stub serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Builds a [`Value`] from a JSON-like literal.
+///
+/// Supports the subset the bench harness uses: object literals with
+/// string-literal keys, array literals, `null`, and arbitrary Rust
+/// expressions convertible to [`Value`] via [`From`].
+///
+/// ```
+/// let v = serde_json::json!({ "name": "bus", "nodes": 8, "rows": vec![1.0, 2.0] });
+/// assert_eq!(v["nodes"].as_f64(), Some(8.0));
+/// assert_eq!(v["rows"][1].as_f64(), Some(2.0));
+/// ```
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ([ $($item:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($item) ),* ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::Value::from($value)) ),*
+        ])
+    };
+    ($other:expr) => {
+        $crate::Value::from($other)
+    };
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if n.is_finite() {
+        out.push_str(&format!("{n}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
+    let (nl, pad, pad_close) = if pretty {
+        ("\n", "  ".repeat(indent + 1), "  ".repeat(indent))
+    } else {
+        ("", String::new(), String::new())
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_value(out, item, indent + 1, pretty);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                escape_into(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, val, indent + 1, pretty);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push('}');
+        }
+    }
+}
+
+/// Serializes a [`Value`] to compact JSON.
+///
+/// # Errors
+///
+/// Infallible in the stub; the `Result` matches the real crate's signature.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, 0, false);
+    Ok(out)
+}
+
+/// Serializes a [`Value`] to 2-space-indented JSON.
+///
+/// # Errors
+///
+/// Infallible in the stub; the `Result` matches the real crate's signature.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, 0, true);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_roundtrip_shape() {
+        let v = json!({
+            "method": "pwc-fmm",
+            "n": 10usize,
+            "ok": true,
+            "nested": json!({ "a": 1 }),
+            "list": vec![1.0, 2.5],
+        });
+        assert_eq!(v["method"].as_str(), Some("pwc-fmm"));
+        assert_eq!(v["n"].as_f64(), Some(10.0));
+        assert_eq!(v["nested"]["a"].as_f64(), Some(1.0));
+        assert_eq!(v["list"][1].as_f64(), Some(2.5));
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, r#"{"method":"pwc-fmm","n":10,"ok":true,"nested":{"a":1},"list":[1,2.5]}"#);
+    }
+
+    #[test]
+    fn pretty_prints_with_indentation() {
+        let v = json!({ "rows": vec![json!({ "x": 1 })] });
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"rows\": [\n    {\n      \"x\": 1\n    }\n  ]\n}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = json!({ "s": "a\"b\\c\nd" });
+        assert_eq!(to_string(&v).unwrap(), r#"{"s":"a\"b\\c\nd"}"#);
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        let v = json!({ "bad": f64::NAN, "inf": f64::INFINITY });
+        assert_eq!(to_string(&v).unwrap(), r#"{"bad":null,"inf":null}"#);
+    }
+
+    #[test]
+    fn arrays_from_fixed_size_and_literals() {
+        let ds: [usize; 3] = [1, 2, 4];
+        let v = json!({ "ds": ds, "lit": [1, 2] });
+        assert_eq!(v["ds"][2].as_f64(), Some(4.0));
+        assert_eq!(v["lit"][0].as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn missing_key_panics_with_message() {
+        let v = json!({ "a": 1 });
+        let err = std::panic::catch_unwind(|| v["b"].clone()).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("no key"));
+    }
+}
