@@ -52,6 +52,18 @@ fn atan_table() -> &'static [f32] {
     })
 }
 
+/// Forces construction of the log and atan tables.
+///
+/// The tables are lazily built behind `OnceLock`s on first use. Parallel
+/// drivers (the batch extraction scheduler in `bemcap-core::batch`) call
+/// this once before spawning workers so that the first accelerated job
+/// does not pay the table build inside its timed region while the other
+/// workers block on the lock.
+pub fn warm_tables() {
+    let _ = log_table();
+    let _ = atan_table();
+}
+
 /// Fast natural logarithm by mantissa tabulation.
 ///
 /// Accuracy ≈ 6·10⁻⁵ absolute — comfortably inside the 1 % budget of the

@@ -138,26 +138,12 @@ fn shuffle_functions(mut functions: Vec<BasisFunction>) -> Vec<BasisFunction> {
 /// Removes exactly-duplicate basis functions (same conductor, same
 /// templates bit for bit), keeping first occurrences and order.
 fn dedup_functions(functions: &mut Vec<BasisFunction>) {
+    use crate::template::TemplateKey;
     use std::collections::HashSet;
-    let mut seen: HashSet<Vec<u64>> = HashSet::new();
+    let mut seen: HashSet<(usize, Vec<TemplateKey>)> = HashSet::new();
     functions.retain(|f| {
-        let mut key: Vec<u64> = vec![f.conductor as u64];
-        for t in &f.templates {
-            let p = t.panel;
-            for v in [p.w(), p.u_range().0, p.u_range().1, p.v_range().0, p.v_range().1] {
-                key.push(v.to_bits());
-            }
-            key.push(p.normal().index() as u64);
-            match &t.kind {
-                crate::template::TemplateKind::Flat => key.push(0),
-                crate::template::TemplateKind::Arch { dir, shape } => {
-                    key.push(1 + matches!(dir, ShapeDir::V) as u64);
-                    key.push(shape.center.to_bits());
-                    key.push(shape.width.to_bits());
-                }
-            }
-        }
-        seen.insert(key)
+        let keys: Vec<TemplateKey> = f.templates.iter().map(Template::key).collect();
+        seen.insert((f.conductor, keys))
     });
 }
 

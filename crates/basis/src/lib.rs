@@ -43,4 +43,4 @@ pub use arch::{ArchLaws, ArchShape};
 pub use basisfn::{BasisFunction, BasisSet};
 pub use condense::{accumulate_entry, TemplateIndex};
 pub use error::BasisError;
-pub use template::{pair_integral, template_moment, Template, TemplateKind};
+pub use template::{pair_integral, template_moment, Template, TemplateKey, TemplateKind};

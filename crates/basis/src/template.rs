@@ -41,6 +41,35 @@ impl Template {
         Template { panel, kind: TemplateKind::Arch { dir, shape } }
     }
 
+    /// The exact identity key of this template: two templates share a key
+    /// iff their support panels and shapes are **bit-identical**.
+    ///
+    /// Bit-exactness is the load-bearing property: the instantiation pass
+    /// uses keys to drop duplicate induced functions, and the batch
+    /// extraction cache (`bemcap-core::batch`) uses them to share pair
+    /// integrals across jobs — a hit returns the very f64 the engine would
+    /// have recomputed, so cached and uncached runs produce identical
+    /// capacitance matrices.
+    pub fn key(&self) -> TemplateKey {
+        let p = &self.panel;
+        let mut k = [0u64; 9];
+        k[0] = p.normal().index() as u64;
+        k[1] = p.w().to_bits();
+        k[2] = p.u_range().0.to_bits();
+        k[3] = p.u_range().1.to_bits();
+        k[4] = p.v_range().0.to_bits();
+        k[5] = p.v_range().1.to_bits();
+        match &self.kind {
+            TemplateKind::Flat => {}
+            TemplateKind::Arch { dir, shape } => {
+                k[6] = 1 + matches!(dir, ShapeDir::V) as u64;
+                k[7] = shape.center.to_bits();
+                k[8] = shape.width.to_bits();
+            }
+        }
+        TemplateKey(k)
+    }
+
     /// Runs `f` with this template's weight expressed as a
     /// [`PanelShape`] borrowing a stack-local closure.
     pub fn with_shape<R>(&self, f: impl FnOnce(PanelShape<'_>) -> R) -> R {
@@ -54,6 +83,11 @@ impl Template {
         }
     }
 }
+
+/// The bit-level identity of a [`Template`] — hashable and cheap to copy.
+/// See [`Template::key`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TemplateKey([u64; 9]);
 
 /// The Galerkin integral of a template pair (equation (5) entry, raw
 /// kernel — the caller divides by 4πε).
@@ -119,6 +153,31 @@ mod tests {
         let ba = pair_integral(&eng, &b, &a);
         assert!((ab - ba).abs() < 1e-9 * ab.abs(), "{ab} vs {ba}");
         assert!(ab > 0.0);
+    }
+
+    #[test]
+    fn keys_separate_distinct_templates() {
+        let shape = ArchShape { center: 0.5, width: 0.3 };
+        let flat = Template::flat(panel(0.0));
+        let same = Template::flat(panel(0.0));
+        let moved = Template::flat(panel(1.0));
+        let arch_u = Template::arch(panel(0.0), ShapeDir::U, shape);
+        let arch_v = Template::arch(panel(0.0), ShapeDir::V, shape);
+        let arch_wide =
+            Template::arch(panel(0.0), ShapeDir::U, ArchShape { center: 0.5, width: 0.4 });
+        assert_eq!(flat.key(), same.key());
+        assert_ne!(flat.key(), moved.key());
+        assert_ne!(flat.key(), arch_u.key());
+        assert_ne!(arch_u.key(), arch_v.key());
+        assert_ne!(arch_u.key(), arch_wide.key());
+    }
+
+    #[test]
+    fn keys_distinguish_normal_axis() {
+        // Same (w, u, v) ranges on different normals are different panels.
+        let a = Template::flat(Panel::new(Axis::Z, 0.0, (0.0, 1.0), (0.0, 1.0)).unwrap());
+        let b = Template::flat(Panel::new(Axis::X, 0.0, (0.0, 1.0), (0.0, 1.0)).unwrap());
+        assert_ne!(a.key(), b.key());
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub struct Assembly {
 }
 
 /// Scale factor 1/(4πε) for a medium of relative permittivity `eps_rel`.
-fn kernel_scale(eps_rel: f64) -> f64 {
+pub(crate) fn kernel_scale(eps_rel: f64) -> f64 {
     1.0 / (4.0 * std::f64::consts::PI * eps_rel * EPS0)
 }
 

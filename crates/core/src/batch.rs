@@ -1,0 +1,603 @@
+//! Batched multi-net extraction: one solver configuration over a family
+//! of geometries.
+//!
+//! The paper's economics (conf_dac_HsiaoD11) are that instantiable basis
+//! functions make per-structure setup cheap — cheap enough that the
+//! natural unit of work is not one geometry but a *family* of similar
+//! geometries (a parameter sweep, a bus with many nets, a corner
+//! enumeration). [`BatchExtractor`] packages that unit:
+//!
+//! * jobs are scheduled across the `bemcap-par` pool with the same static
+//!   contiguous partition as Algorithm 1, and results always come back in
+//!   **input order**, whatever the pool size — scheduling can never
+//!   reorder or change a result;
+//! * the Galerkin engine is built **once** and shared by every worker;
+//! * with caching enabled (the default), pair integrals are shared across
+//!   jobs through a [`bemcap_basis::TemplateKey`]-keyed cache: families
+//!   that keep part of the geometry fixed (every sweep does) skip the
+//!   integrals of the unchanged template pairs entirely. A cache hit
+//!   returns the very f64 a recomputation would produce, so cached and
+//!   uncached runs yield **bit-identical** capacitance matrices;
+//! * per-job timings and cache counters come back as
+//!   [`JobReport`]s under a whole-run [`BatchReport`].
+//!
+//! [`crate::sweep::sweep`] is a thin wrapper over this module.
+//!
+//! ```
+//! use bemcap_core::batch::BatchExtractor;
+//! use bemcap_core::Extractor;
+//! use bemcap_geom::structures::{self, CrossingParams};
+//!
+//! let batch = BatchExtractor::new(Extractor::new()).workers(1);
+//! let hs = [0.4e-6, 0.8e-6];
+//! let result = batch.extract_family(&hs, |h| {
+//!     structures::crossing_wires(CrossingParams { separation: h, ..Default::default() })
+//! })?;
+//! assert_eq!(result.points().len(), 2);
+//! assert!(result.report().cache.hits > 0); // the fixed wire recurs
+//! # Ok::<(), bemcap_core::CoreError>(())
+//! ```
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use bemcap_basis::instantiate::instantiate;
+use bemcap_basis::{accumulate_entry, pair_integral, Template, TemplateIndex, TemplateKey};
+use bemcap_geom::Geometry;
+use bemcap_linalg::Matrix;
+use bemcap_par::{k_to_ij, pool, triangle_size};
+use bemcap_quad::galerkin::GalerkinEngine;
+
+use crate::assembly;
+use crate::error::CoreError;
+use crate::extraction::{CapacitanceMatrix, Extraction, Extractor, Method};
+use crate::report::{BatchReport, CacheStats, ExtractionReport, JobReport};
+use crate::solver::solve_capacitance;
+
+/// Name of the environment variable that sets the default pool size
+/// (`BEMCAP_POOL=4`). CI runs the test suite under several values so
+/// scheduler nondeterminism cannot hide behind a fixed default.
+pub const POOL_ENV: &str = "BEMCAP_POOL";
+
+/// The default scheduler pool size: `BEMCAP_POOL` when set to a positive
+/// integer, 1 otherwise.
+pub fn default_pool_size() -> usize {
+    std::env::var(POOL_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// One unit of batch work: a geometry with a label and an optional swept
+/// parameter value.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// Human-readable job label (net name, corner name, "h=0.4e-6", ...).
+    pub label: String,
+    /// The swept parameter value for family jobs; `None` for ad-hoc jobs.
+    pub parameter: Option<f64>,
+    /// The geometry to extract.
+    pub geometry: Geometry,
+}
+
+impl BatchJob {
+    /// A job with no parameter annotation.
+    pub fn new(label: impl Into<String>, geometry: Geometry) -> BatchJob {
+        BatchJob { label: label.into(), parameter: None, geometry }
+    }
+
+    /// Attaches the swept parameter value (reported back in results and
+    /// error contexts).
+    #[must_use]
+    pub fn with_parameter(mut self, parameter: f64) -> BatchJob {
+        self.parameter = Some(parameter);
+        self
+    }
+}
+
+/// One completed job: its extraction plus the per-job scheduling record.
+#[derive(Debug, Clone)]
+pub struct BatchPoint {
+    /// The job label, as submitted.
+    pub label: String,
+    /// The swept parameter value, if the job had one.
+    pub parameter: Option<f64>,
+    /// The extraction result.
+    pub extraction: Extraction,
+    /// Scheduling and cache record of this job.
+    pub job: JobReport,
+}
+
+/// All results of a batch run, in input order, plus the run-level report.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    points: Vec<BatchPoint>,
+    report: BatchReport,
+}
+
+impl BatchResult {
+    /// The per-job results, in input order.
+    pub fn points(&self) -> &[BatchPoint] {
+        &self.points
+    }
+
+    /// The run-level report (wall time, pool, aggregated cache counters).
+    pub fn report(&self) -> &BatchReport {
+        &self.report
+    }
+
+    /// Consumes the result into its points.
+    pub fn into_points(self) -> Vec<BatchPoint> {
+        self.points
+    }
+
+    /// One capacitance entry across the batch as `(parameter, C_ij)`
+    /// pairs — the plottable curve of a family run. Jobs without a
+    /// parameter annotation are skipped.
+    pub fn entry_curve(&self, i: usize, j: usize) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .filter_map(|p| Some((p.parameter?, p.extraction.capacitance().get(i, j))))
+            .collect()
+    }
+}
+
+/// Batch extraction front end: an [`Extractor`] configuration applied to
+/// many geometries with job-level parallelism and cross-job caching.
+///
+/// The cross-job cache applies to instantiable extractors with the
+/// default sequential setup (the batch pool is then the parallelism).
+/// Extractors that ask for within-job parallelism
+/// ([`Extractor::parallelism`]) keep it: each job runs the unchanged
+/// one-at-a-time path, scheduled across the pool but without the shared
+/// cache — pick one level or the other rather than oversubscribing both.
+#[derive(Debug, Clone)]
+pub struct BatchExtractor {
+    extractor: Extractor,
+    workers: Option<usize>,
+    cache: bool,
+}
+
+impl BatchExtractor {
+    /// A batch front end over the given extractor configuration, with
+    /// caching enabled and the pool size taken from `BEMCAP_POOL` (or 1).
+    pub fn new(extractor: Extractor) -> BatchExtractor {
+        BatchExtractor { extractor, workers: None, cache: true }
+    }
+
+    /// Pins the scheduler pool size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> BatchExtractor {
+        assert!(n > 0, "batch pool needs at least one worker");
+        self.workers = Some(n);
+        self
+    }
+
+    /// Enables or disables the shared pair-integral cache. Results are
+    /// bit-identical either way; only the work (and the reported cache
+    /// counters) changes.
+    #[must_use]
+    pub fn cache(mut self, on: bool) -> BatchExtractor {
+        self.cache = on;
+        self
+    }
+
+    /// The pool size this batch will run with.
+    pub fn effective_workers(&self) -> usize {
+        self.workers.unwrap_or_else(default_pool_size)
+    }
+
+    /// Runs every job and returns the results in input order.
+    ///
+    /// All jobs are attempted; if any fail, the error of the **lowest
+    /// failing index** is returned (deterministic under any pool size),
+    /// wrapped in [`CoreError::BatchJob`] with the job's index and
+    /// parameter.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BatchJob`] around the first failing job's error.
+    pub fn extract_all(&self, jobs: &[BatchJob]) -> Result<BatchResult, CoreError> {
+        let workers = self.effective_workers();
+        if self.extractor.is_accelerated() {
+            // Build the §4.2.3 tables before the pool starts so the first
+            // accelerated job is not billed for them.
+            bemcap_accel::fastmath::warm_tables();
+        }
+        let engine = self.extractor.engine();
+        let cache = if self.cache { Some(PairCache::new()) } else { None };
+        let start = Instant::now();
+        let (outcomes, _) = pool::map_ordered(workers, jobs.len(), |w, idx| {
+            let t = Instant::now();
+            let out = self.run_job(&engine, cache.as_ref(), &jobs[idx].geometry);
+            (w, out, t.elapsed().as_secs_f64())
+        });
+        let wall_seconds = start.elapsed().as_secs_f64();
+
+        let mut points = Vec::with_capacity(jobs.len());
+        let mut busy_seconds = 0.0;
+        let mut total_cache = CacheStats::default();
+        for (idx, (job, (worker, outcome, seconds))) in jobs.iter().zip(outcomes).enumerate() {
+            let (extraction, stats) = outcome.map_err(|e| CoreError::BatchJob {
+                index: idx,
+                parameter: job.parameter,
+                source: Box::new(e),
+            })?;
+            busy_seconds += seconds;
+            total_cache.absorb(stats);
+            points.push(BatchPoint {
+                label: job.label.clone(),
+                parameter: job.parameter,
+                extraction,
+                job: JobReport { index: idx, worker, seconds, cache: stats },
+            });
+        }
+        Ok(BatchResult {
+            points,
+            report: BatchReport {
+                jobs: jobs.len(),
+                workers,
+                cache_enabled: self.cache,
+                wall_seconds,
+                busy_seconds,
+                cache: total_cache,
+            },
+        })
+    }
+
+    /// Runs the batch over `build(p)` for every parameter in `params` —
+    /// the family form behind [`crate::sweep::sweep`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BatchJob`] around the first failing job's error, with
+    /// the parameter value attached.
+    pub fn extract_family(
+        &self,
+        params: &[f64],
+        mut build: impl FnMut(f64) -> Geometry,
+    ) -> Result<BatchResult, CoreError> {
+        let jobs: Vec<BatchJob> = params
+            .iter()
+            .map(|&p| BatchJob::new(format!("param={p:e}"), build(p)).with_parameter(p))
+            .collect();
+        self.extract_all(&jobs)
+    }
+
+    /// Runs the batch over plain geometries, labeled by index.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BatchJob`] around the first failing job's error.
+    pub fn extract_geometries(
+        &self,
+        geometries: impl IntoIterator<Item = Geometry>,
+    ) -> Result<BatchResult, CoreError> {
+        let jobs: Vec<BatchJob> = geometries
+            .into_iter()
+            .enumerate()
+            .map(|(i, g)| BatchJob::new(format!("job{i}"), g))
+            .collect();
+        self.extract_all(&jobs)
+    }
+
+    /// One job: the sequential-setup instantiable path goes through the
+    /// shared engine and cache; everything else (mesh-based baselines,
+    /// and instantiable extractors that asked for within-job
+    /// [`crate::extraction::Parallelism`]) runs the one-at-a-time
+    /// extractor unchanged — bit-identical to [`Extractor::extract`] by
+    /// construction in every case.
+    fn run_job(
+        &self,
+        engine: &GalerkinEngine,
+        cache: Option<&PairCache>,
+        geo: &Geometry,
+    ) -> Result<(Extraction, CacheStats), CoreError> {
+        match self.extractor.method_kind() {
+            Method::InstantiableBasis if self.extractor.is_sequential_setup() => {
+                extract_instantiable_cached(&self.extractor, engine, cache, geo)
+            }
+            _ => Ok((self.extractor.extract(geo)?, CacheStats::default())),
+        }
+    }
+}
+
+/// The instantiable extraction of [`Extractor::extract`], restated with a
+/// caller-provided engine and an optional shared pair-integral cache.
+///
+/// The k-loop, accumulation order, and scaling are exactly those of
+/// `assembly::assemble_sequential`, so the result is bit-identical to the
+/// one-at-a-time sequential path — with or without the cache.
+fn extract_instantiable_cached(
+    extractor: &Extractor,
+    engine: &GalerkinEngine,
+    cache: Option<&PairCache>,
+    geo: &Geometry,
+) -> Result<(Extraction, CacheStats), CoreError> {
+    if geo.conductor_count() == 0 {
+        return Err(CoreError::EmptyGeometry);
+    }
+    let names: Vec<String> = geo.conductors().iter().map(|c| c.name().to_string()).collect();
+    let set = instantiate(geo, extractor.instantiate_cfg())?;
+    let index = TemplateIndex::new(&set);
+    let n_cond = geo.conductor_count();
+
+    let start = Instant::now();
+    let scale = assembly::kernel_scale(geo.eps_rel());
+    let n = index.basis_count();
+    let mut p = Matrix::zeros(n, n);
+    let mut stats = CacheStats::default();
+    let keys: Vec<TemplateKey> = index.templates().iter().map(Template::key).collect();
+    for k in 0..triangle_size(index.template_count()) {
+        let (i, j) = k_to_ij(k);
+        let raw = match cache {
+            Some(c) => {
+                let (v, hit) = c.get_or_compute((keys[i], keys[j]), || {
+                    pair_integral(engine, index.template(i), index.template(j))
+                });
+                if hit {
+                    stats.hits += 1;
+                } else {
+                    stats.misses += 1;
+                }
+                v
+            }
+            None => pair_integral(engine, index.template(i), index.template(j)),
+        };
+        accumulate_entry(&mut p, i, j, index.label(i), index.label(j), scale * raw);
+    }
+    let phi = assembly::assemble_phi(engine, &set, n_cond);
+    let setup_seconds = start.elapsed().as_secs_f64();
+    let memory = p.memory_bytes() + phi.memory_bytes();
+    let (c, solve_seconds) = solve_capacitance(p, &phi)?;
+    let extraction = Extraction::from_parts(
+        CapacitanceMatrix::from_parts(names, c),
+        ExtractionReport {
+            method: "instantiable".into(),
+            n,
+            m_templates: Some(index.template_count()),
+            workers: 1,
+            setup_seconds,
+            solve_seconds,
+            memory_bytes: memory,
+        },
+    );
+    Ok((extraction, stats))
+}
+
+/// A sharded map from template-pair keys to raw pair integrals, shared by
+/// every worker of one batch run.
+///
+/// Keys are exact bit-level template identities ([`TemplateKey`]), so a
+/// hit can only ever return the f64 the engine would have recomputed for
+/// the same inputs — the invariant behind the cache-on/off bit-identity
+/// guarantee. Sharding (fixed 32 shards by key hash) keeps lock traffic
+/// off the hot path; the integral itself is computed outside any lock, so
+/// two workers may rarely duplicate a computation, which is wasted work
+/// but never a wrong answer (both compute identical bits).
+struct PairCache {
+    shards: Vec<Mutex<HashMap<(TemplateKey, TemplateKey), f64>>>,
+}
+
+const CACHE_SHARDS: usize = 32;
+
+impl PairCache {
+    fn new() -> PairCache {
+        PairCache { shards: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    fn shard(
+        &self,
+        key: &(TemplateKey, TemplateKey),
+    ) -> &Mutex<HashMap<(TemplateKey, TemplateKey), f64>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % CACHE_SHARDS]
+    }
+
+    /// Returns the cached value for `key`, or computes, stores, and
+    /// returns it. The boolean is `true` on a hit.
+    fn get_or_compute(
+        &self,
+        key: (TemplateKey, TemplateKey),
+        f: impl FnOnce() -> f64,
+    ) -> (f64, bool) {
+        let shard = self.shard(&key);
+        if let Some(&v) = shard.lock().expect("pair cache poisoned").get(&key) {
+            return (v, true);
+        }
+        let v = f();
+        shard.lock().expect("pair cache poisoned").insert(key, v);
+        (v, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bemcap_geom::structures::{self, CrossingParams};
+
+    fn family(hs: &[f64]) -> Vec<BatchJob> {
+        hs.iter()
+            .map(|&h| {
+                BatchJob::new(
+                    format!("h={h}"),
+                    structures::crossing_wires(CrossingParams {
+                        separation: h,
+                        ..Default::default()
+                    }),
+                )
+                .with_parameter(h)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_single_extraction_bit_for_bit() {
+        let ex = Extractor::new();
+        let jobs = family(&[0.4e-6, 0.7e-6, 1.1e-6]);
+        let batch = BatchExtractor::new(ex.clone()).workers(2);
+        let result = batch.extract_all(&jobs).expect("batch");
+        assert_eq!(result.points().len(), 3);
+        for (job, point) in jobs.iter().zip(result.points()) {
+            let single = ex.extract(&job.geometry).expect("single");
+            let a = single.capacitance().matrix();
+            let b = point.extraction.capacitance().matrix();
+            assert_eq!(a.as_slice(), b.as_slice(), "job {}", point.label);
+        }
+    }
+
+    #[test]
+    fn cache_on_off_identical_and_hits_counted() {
+        let jobs = family(&[0.5e-6, 0.5e-6, 0.9e-6]);
+        // One worker: jobs run in order, so job 1 (a duplicate of job 0)
+        // must be answered entirely from the cache. With more workers the
+        // duplicate jobs could race and legitimately both miss.
+        let cached =
+            BatchExtractor::new(Extractor::new()).workers(1).extract_all(&jobs).expect("cached");
+        let uncached = BatchExtractor::new(Extractor::new())
+            .workers(1)
+            .cache(false)
+            .extract_all(&jobs)
+            .expect("uncached");
+        for (a, b) in cached.points().iter().zip(uncached.points()) {
+            assert_eq!(
+                a.extraction.capacitance().matrix().as_slice(),
+                b.extraction.capacitance().matrix().as_slice()
+            );
+        }
+        // Jobs 0 and 1 are identical geometries: job 1 must be all hits.
+        assert!(cached.points()[1].job.cache.hit_rate() > 0.99);
+        assert_eq!(uncached.report().cache, CacheStats::default());
+        assert!(cached.report().cache.hits > 0);
+    }
+
+    #[test]
+    fn pool_size_cannot_change_results() {
+        let jobs = family(&[0.4e-6, 0.6e-6, 0.8e-6, 1.0e-6, 1.2e-6]);
+        let one = BatchExtractor::new(Extractor::new()).workers(1).extract_all(&jobs).expect("w1");
+        for w in [2, 3, 5, 8] {
+            let many =
+                BatchExtractor::new(Extractor::new()).workers(w).extract_all(&jobs).expect("wn");
+            for (a, b) in one.points().iter().zip(many.points()) {
+                assert_eq!(a.parameter, b.parameter, "workers={w}");
+                assert_eq!(
+                    a.extraction.capacitance().matrix().as_slice(),
+                    b.extraction.capacitance().matrix().as_slice(),
+                    "workers={w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failing_job_reports_index_and_parameter() {
+        let mut jobs = family(&[0.4e-6, 0.8e-6]);
+        jobs.insert(1, BatchJob::new("empty", Geometry::new(vec![])).with_parameter(42.0));
+        let err = BatchExtractor::new(Extractor::new()).extract_all(&jobs).unwrap_err();
+        match err {
+            CoreError::BatchJob { index, parameter, source } => {
+                assert_eq!(index, 1);
+                assert_eq!(parameter, Some(42.0));
+                assert!(matches!(*source, CoreError::EmptyGeometry));
+            }
+            other => panic!("expected BatchJob error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lowest_failing_index_wins_at_any_pool_size() {
+        let mut jobs = family(&[0.4e-6, 0.8e-6, 1.2e-6]);
+        jobs.insert(1, BatchJob::new("bad1", Geometry::new(vec![])));
+        jobs.push(BatchJob::new("bad2", Geometry::new(vec![])));
+        for w in [1, 2, 4] {
+            let err =
+                BatchExtractor::new(Extractor::new()).workers(w).extract_all(&jobs).unwrap_err();
+            match err {
+                CoreError::BatchJob { index, .. } => assert_eq!(index, 1, "workers={w}"),
+                other => panic!("expected BatchJob error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn report_accounts_for_all_jobs() {
+        let jobs = family(&[0.4e-6, 0.8e-6, 1.2e-6]);
+        let result =
+            BatchExtractor::new(Extractor::new()).workers(2).extract_all(&jobs).expect("batch");
+        let r = result.report();
+        assert_eq!(r.jobs, 3);
+        assert_eq!(r.workers, 2);
+        assert!(r.cache_enabled);
+        assert!(r.wall_seconds > 0.0);
+        assert!(r.busy_seconds > 0.0);
+        let summed: usize = result.points().iter().map(|p| p.job.cache.lookups()).sum();
+        assert_eq!(r.cache.lookups(), summed);
+        for (i, p) in result.points().iter().enumerate() {
+            assert_eq!(p.job.index, i);
+            assert!(p.job.worker < 2);
+            assert!(p.job.seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let result = BatchExtractor::new(Extractor::new()).extract_all(&[]).expect("empty");
+        assert!(result.points().is_empty());
+        assert_eq!(result.report().jobs, 0);
+    }
+
+    #[test]
+    fn entry_curve_skips_unparameterized_jobs() {
+        let mut jobs = family(&[0.4e-6, 0.8e-6]);
+        jobs.push(BatchJob::new("extra", structures::crossing_wires(CrossingParams::default())));
+        let result = BatchExtractor::new(Extractor::new()).extract_all(&jobs).expect("batch");
+        let curve = result.entry_curve(0, 1);
+        assert_eq!(curve.len(), 2);
+        assert!(curve[0].1.abs() > curve[1].1.abs(), "coupling falls with h");
+    }
+
+    #[test]
+    fn within_job_parallelism_is_honored_and_bit_identical() {
+        // An extractor that asked for threaded setup keeps it inside the
+        // batch: the job goes through the unchanged one-at-a-time path
+        // (same merge order), so results match extract() bit for bit.
+        use crate::extraction::Parallelism;
+        let ex = Extractor::new().parallelism(Parallelism::Threads(2));
+        let jobs = family(&[0.5e-6, 0.9e-6]);
+        let result = BatchExtractor::new(ex.clone()).extract_all(&jobs).expect("batch");
+        for (job, point) in jobs.iter().zip(result.points()) {
+            let single = ex.extract(&job.geometry).expect("single");
+            assert_eq!(
+                single.capacitance().matrix().as_slice(),
+                point.extraction.capacitance().matrix().as_slice()
+            );
+            assert_eq!(point.extraction.report().workers, 2);
+        }
+        // The shared cache is bypassed on this path.
+        assert_eq!(result.report().cache, CacheStats::default());
+    }
+
+    #[test]
+    fn mesh_methods_run_through_batch() {
+        let jobs = family(&[0.5e-6]);
+        let result = BatchExtractor::new(Extractor::new().method(Method::PwcDense))
+            .extract_all(&jobs)
+            .expect("dense batch");
+        assert_eq!(result.points()[0].extraction.report().method, "pwc-dense");
+        assert_eq!(result.report().cache, CacheStats::default());
+    }
+
+    #[test]
+    fn default_pool_size_is_positive() {
+        assert!(default_pool_size() >= 1);
+    }
+}

@@ -21,6 +21,19 @@ pub enum CoreError {
     Pfft(PfftError),
     /// The geometry has no conductors.
     EmptyGeometry,
+    /// A batch job failed. Carries the failing job's index in the input
+    /// order, the swept parameter value when the job came from a
+    /// parameterized family ([`crate::sweep::sweep`] /
+    /// [`crate::batch::BatchExtractor::extract_family`]), and the
+    /// underlying error.
+    BatchJob {
+        /// Index of the failing job in the batch input order.
+        index: usize,
+        /// The swept parameter value, if the job had one.
+        parameter: Option<f64>,
+        /// What went wrong inside the job.
+        source: Box<CoreError>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -31,6 +44,12 @@ impl fmt::Display for CoreError {
             CoreError::Fmm(e) => write!(f, "multipole solver failed: {e}"),
             CoreError::Pfft(e) => write!(f, "pfft solver failed: {e}"),
             CoreError::EmptyGeometry => write!(f, "geometry has no conductors"),
+            CoreError::BatchJob { index, parameter: Some(p), source } => {
+                write!(f, "batch job {index} (parameter {p:e}) failed: {source}")
+            }
+            CoreError::BatchJob { index, parameter: None, source } => {
+                write!(f, "batch job {index} failed: {source}")
+            }
         }
     }
 }
@@ -43,6 +62,7 @@ impl Error for CoreError {
             CoreError::Fmm(e) => Some(e),
             CoreError::Pfft(e) => Some(e),
             CoreError::EmptyGeometry => None,
+            CoreError::BatchJob { source, .. } => Some(source.as_ref()),
         }
     }
 }
@@ -83,5 +103,24 @@ mod tests {
         let e: CoreError = LinalgError::NotFinite.into();
         assert!(!format!("{e}").is_empty());
         assert!(Error::source(&CoreError::EmptyGeometry).is_none());
+    }
+
+    #[test]
+    fn batch_job_context_in_display_and_source() {
+        let e = CoreError::BatchJob {
+            index: 3,
+            parameter: Some(1.5e-6),
+            source: Box::new(CoreError::EmptyGeometry),
+        };
+        let s = format!("{e}");
+        assert!(s.contains("job 3") && s.contains("1.5e-6"), "{s}");
+        assert!(Error::source(&e).is_some());
+        let e = CoreError::BatchJob {
+            index: 7,
+            parameter: None,
+            source: Box::new(CoreError::EmptyGeometry),
+        };
+        let s = format!("{e}");
+        assert!(s.contains("job 7") && !s.contains("parameter"), "{s}");
     }
 }

@@ -119,7 +119,7 @@ impl Extractor {
         self
     }
 
-    fn engine(&self) -> GalerkinEngine {
+    pub(crate) fn engine(&self) -> GalerkinEngine {
         let eng = GalerkinEngine::new(self.galerkin_cfg);
         if self.accelerated {
             eng.with_primitives(
@@ -130,6 +130,22 @@ impl Extractor {
         } else {
             eng
         }
+    }
+
+    pub(crate) fn method_kind(&self) -> Method {
+        self.method
+    }
+
+    pub(crate) fn instantiate_cfg(&self) -> &InstantiateConfig {
+        &self.instantiate_cfg
+    }
+
+    pub(crate) fn is_accelerated(&self) -> bool {
+        self.accelerated
+    }
+
+    pub(crate) fn is_sequential_setup(&self) -> bool {
+        self.parallelism == Parallelism::Sequential
     }
 
     /// Runs the extraction.
@@ -265,6 +281,10 @@ pub struct CapacitanceMatrix {
 }
 
 impl CapacitanceMatrix {
+    pub(crate) fn from_parts(names: Vec<String>, c: Matrix) -> CapacitanceMatrix {
+        CapacitanceMatrix { names, c }
+    }
+
     /// Number of conductors.
     pub fn dim(&self) -> usize {
         self.c.rows()
@@ -327,6 +347,13 @@ pub struct Extraction {
 }
 
 impl Extraction {
+    pub(crate) fn from_parts(
+        capacitance: CapacitanceMatrix,
+        report: ExtractionReport,
+    ) -> Extraction {
+        Extraction { capacitance, report }
+    }
+
     /// The capacitance matrix.
     pub fn capacitance(&self) -> &CapacitanceMatrix {
         &self.capacitance

@@ -11,6 +11,10 @@
 //! * [`Method::PwcFmm`] — the FASTCAP-style multipole baseline;
 //! * [`Method::PwcPfft`] — the precorrected-FFT baseline.
 //!
+//! For families of similar structures (sweeps, multi-net corners), the
+//! [`batch`] module schedules many extractions across a worker pool and
+//! shares pair integrals between them — see [`BatchExtractor`].
+//!
 //! ```
 //! use bemcap_core::{Extractor, Method};
 //! use bemcap_geom::structures::{self, CrossingParams};
@@ -24,14 +28,16 @@
 //! ```
 
 pub mod assembly;
+pub mod batch;
 pub mod error;
 pub mod extraction;
 pub mod report;
 pub mod solver;
 pub mod sweep;
 
+pub use batch::{BatchExtractor, BatchJob, BatchPoint, BatchResult};
 pub use error::CoreError;
 pub use extraction::{CapacitanceMatrix, Extraction, Extractor, Method};
-pub use report::ExtractionReport;
+pub use report::{BatchReport, CacheStats, ExtractionReport, JobReport};
 
 pub use bemcap_geom::Geometry;

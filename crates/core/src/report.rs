@@ -38,6 +38,80 @@ impl ExtractionReport {
     }
 }
 
+/// Pair-integral cache counters: lookups served from the shared batch
+/// cache (`hits`) vs computed by the Galerkin engine (`misses`).
+///
+/// Only the instantiable-basis path of a caching batch run touches the
+/// cache; every other configuration reports all-zero stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that fell through to the integration engine.
+    pub misses: usize,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> usize {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.lookups() as f64
+    }
+
+    /// Accumulates another job's counters into this one.
+    pub fn absorb(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// Performance record of one job inside a batch extraction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobReport {
+    /// Job index in the batch input order.
+    pub index: usize,
+    /// Scheduler worker that ran the job.
+    pub worker: usize,
+    /// Wall-clock seconds of the whole job (setup + solve).
+    pub seconds: f64,
+    /// Pair-integral cache counters for this job.
+    pub cache: CacheStats,
+}
+
+/// Performance record of a whole batch extraction run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Scheduler pool size.
+    pub workers: usize,
+    /// Whether the shared pair-integral cache was enabled.
+    pub cache_enabled: bool,
+    /// Wall-clock seconds of the whole batch (scheduling included).
+    pub wall_seconds: f64,
+    /// Sum of per-job seconds — the work the pool actually absorbed.
+    pub busy_seconds: f64,
+    /// Aggregated cache counters across all jobs.
+    pub cache: CacheStats,
+}
+
+impl BatchReport {
+    /// Busy time over pool capacity — 1.0 means perfectly packed workers.
+    pub fn parallel_efficiency(&self) -> f64 {
+        if self.wall_seconds == 0.0 || self.workers == 0 {
+            return 0.0;
+        }
+        self.busy_seconds / (self.workers as f64 * self.wall_seconds)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,5 +159,30 @@ mod tests {
         // serde round trip through the derived impls (format-agnostic).
         let cloned = r.clone();
         assert_eq!(r, cloned);
+    }
+
+    #[test]
+    fn cache_stats_rates_and_absorb() {
+        let mut total = CacheStats::default();
+        assert_eq!(total.hit_rate(), 0.0);
+        total.absorb(CacheStats { hits: 3, misses: 1 });
+        total.absorb(CacheStats { hits: 1, misses: 3 });
+        assert_eq!(total.lookups(), 8);
+        assert!((total.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_efficiency() {
+        let r = BatchReport {
+            jobs: 8,
+            workers: 4,
+            cache_enabled: true,
+            wall_seconds: 2.0,
+            busy_seconds: 6.0,
+            cache: CacheStats { hits: 10, misses: 30 },
+        };
+        assert!((r.parallel_efficiency() - 0.75).abs() < 1e-12);
+        let idle = BatchReport { wall_seconds: 0.0, ..r };
+        assert_eq!(idle.parallel_efficiency(), 0.0);
     }
 }

@@ -1,11 +1,16 @@
 //! Parameter sweeps: run one extractor over a family of geometries.
 //!
 //! Capacitance-vs-separation and capacitance-vs-width curves are the daily
-//! bread of extraction users (and the h-sweeps behind the paper's Fig. 2);
-//! this module packages the loop with per-point reports.
+//! bread of extraction users (and the h-sweeps behind the paper's Fig. 2).
+//! Since the batch subsystem landed, [`sweep`] is a thin wrapper over
+//! [`BatchExtractor::extract_family`]: sweep points are scheduled across
+//! the `BEMCAP_POOL`-sized worker pool and share the pair-integral cache,
+//! while results keep the exact parameter order of the input — the
+//! serial-loop semantics callers always had, just faster.
 
 use bemcap_geom::Geometry;
 
+use crate::batch::BatchExtractor;
 use crate::error::CoreError;
 use crate::extraction::{Extraction, Extractor};
 
@@ -20,22 +25,28 @@ pub struct SweepPoint {
 
 /// Runs `extractor` on `build(p)` for every parameter in `params`.
 ///
+/// Executes as a batch: points run on the default worker pool
+/// ([`crate::batch::default_pool_size`]) with the cross-job cache enabled.
+/// Results are returned in `params` order regardless of pool size.
+///
 /// # Errors
 ///
-/// Returns the first extraction error together with the offending
-/// parameter value embedded in the error context.
+/// Returns [`CoreError::BatchJob`] for the lowest-index failing point,
+/// carrying both the job index and the offending parameter value.
 pub fn sweep(
     extractor: &Extractor,
     params: &[f64],
-    mut build: impl FnMut(f64) -> Geometry,
+    build: impl FnMut(f64) -> Geometry,
 ) -> Result<Vec<SweepPoint>, CoreError> {
-    let mut out = Vec::with_capacity(params.len());
-    for &p in params {
-        let geo = build(p);
-        let extraction = extractor.extract(&geo)?;
-        out.push(SweepPoint { parameter: p, extraction });
-    }
-    Ok(out)
+    let result = BatchExtractor::new(extractor.clone()).extract_family(params, build)?;
+    Ok(result
+        .into_points()
+        .into_iter()
+        .map(|p| SweepPoint {
+            parameter: p.parameter.expect("family jobs carry their parameter"),
+            extraction: p.extraction,
+        })
+        .collect())
 }
 
 /// Extracts one capacitance entry across a sweep as (parameter, C_ij)
@@ -70,5 +81,44 @@ mod tests {
         let ex = Extractor::new();
         let err = sweep(&ex, &[1.0], |_| bemcap_geom::Geometry::new(vec![]));
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn sweep_error_carries_job_index_and_parameter() {
+        // Point 2 (parameter 3.0) fails: the error must say which point
+        // and which parameter, not just that something failed.
+        let ex = Extractor::new();
+        let err = sweep(&ex, &[1.0, 2.0, 3.0], |p| {
+            if p == 3.0 {
+                bemcap_geom::Geometry::new(vec![])
+            } else {
+                structures::crossing_wires(CrossingParams::default())
+            }
+        })
+        .unwrap_err();
+        match &err {
+            CoreError::BatchJob { index, parameter, source } => {
+                assert_eq!(*index, 2);
+                assert_eq!(*parameter, Some(3.0));
+                assert!(matches!(**source, CoreError::EmptyGeometry));
+            }
+            other => panic!("expected BatchJob error, got {other:?}"),
+        }
+        let msg = format!("{err}");
+        assert!(msg.contains("job 2") && msg.contains('3'), "{msg}");
+    }
+
+    #[test]
+    fn sweep_keeps_parameter_order() {
+        // Deliberately non-monotonic parameter list: output order must
+        // match input order, not sorted or scheduler order.
+        let ex = Extractor::new();
+        let hs = [0.8e-6, 0.4e-6, 1.6e-6];
+        let points = sweep(&ex, &hs, |h| {
+            structures::crossing_wires(CrossingParams { separation: h, ..Default::default() })
+        })
+        .expect("sweep");
+        let got: Vec<f64> = points.iter().map(|p| p.parameter).collect();
+        assert_eq!(got, hs.to_vec());
     }
 }

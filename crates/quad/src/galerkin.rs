@@ -123,9 +123,9 @@ impl GalerkinEngine {
     pub fn new(cfg: GalerkinConfig) -> GalerkinEngine {
         GalerkinEngine {
             cfg,
-            rule_near: GaussRule::new(cfg.near_order.max(1)),
-            rule_mid: GaussRule::new(cfg.mid_order.max(1)),
-            rule_shape: GaussRule::new(cfg.shape_order.max(1)),
+            rule_near: GaussRule::cached(cfg.near_order.max(1)),
+            rule_mid: GaussRule::cached(cfg.mid_order.max(1)),
+            rule_shape: GaussRule::cached(cfg.shape_order.max(1)),
             dp: analytic::double_primitive,
             qp: analytic::quad_primitive,
             tp: analytic::triple_primitive,

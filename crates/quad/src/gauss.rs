@@ -60,6 +60,27 @@ impl GaussRule {
         GaussRule { nodes, weights }
     }
 
+    /// Like [`GaussRule::new`] but served from a process-wide cache of
+    /// previously built rules, so engines instantiated per batch job (or
+    /// per sweep point) don't redo the Newton iterations for the same
+    /// handful of orders.
+    ///
+    /// The returned rule is a clone of the cached one — bit-identical to a
+    /// fresh `new(n)` (the construction is deterministic), so callers can
+    /// switch freely between the two constructors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn cached(n: usize) -> GaussRule {
+        use std::collections::HashMap;
+        use std::sync::{Mutex, OnceLock};
+        static RULES: OnceLock<Mutex<HashMap<usize, GaussRule>>> = OnceLock::new();
+        let rules = RULES.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = rules.lock().expect("gauss rule cache poisoned");
+        map.entry(n).or_insert_with(|| GaussRule::new(n)).clone()
+    }
+
     /// Number of points.
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -126,6 +147,17 @@ fn legendre_with_derivative(n: usize, x: f64) -> (f64, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cached_rule_is_bit_identical_to_fresh() {
+        for n in [1, 3, 6, 16] {
+            let fresh = GaussRule::new(n);
+            let cached = GaussRule::cached(n);
+            assert_eq!(fresh, cached, "order {n}");
+            // Second hit serves the same values.
+            assert_eq!(GaussRule::cached(n), fresh);
+        }
+    }
 
     #[test]
     fn weights_sum_to_interval_length() {

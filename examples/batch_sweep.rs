@@ -1,0 +1,57 @@
+//! Multi-net bus sweep through the batch extraction engine: the 4-net
+//! 2×2 crossing bus swept over the inter-layer gap, with all sweep points
+//! scheduled across the worker pool and sharing the pair-integral cache
+//! (the lower bus layer is identical at every point).
+//!
+//! Run with: `cargo run --release --example batch_sweep`
+//! Pool size: `BEMCAP_POOL=4 cargo run --release --example batch_sweep`
+
+use bemcap::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Gap range where the h-laws are well calibrated (the coarse template
+    // set wobbles beyond ~1.5 µm — see the golden tolerances).
+    let gaps: Vec<f64> = (1..=8).map(|i| 0.15e-6 * i as f64).collect();
+    let batch = BatchExtractor::new(Extractor::new().method(Method::InstantiableBasis));
+    let result = batch.extract_family(&gaps, |gap| {
+        structures::bus_crossing(
+            2,
+            2,
+            structures::BusParams { layer_gap: gap, ..Default::default() },
+        )
+    })?;
+
+    println!("2x2 bus: inter-layer coupling C(mx0, my0) vs layer gap\n");
+    println!("{:>10} {:>14}", "gap (µm)", "C04 (aF)");
+    // Conductors 0..2 are the lower wires, 2..4 the upper ones.
+    let curve = result.entry_curve(0, 2);
+    let max = curve.iter().map(|(_, c)| c.abs()).fold(0.0_f64, f64::max);
+    for (gap, c) in &curve {
+        let bar = "#".repeat((c.abs() / max * 40.0) as usize);
+        println!("{:>10.2} {:>14.2} {bar}", gap * 1e6, c.abs() * 1e18);
+    }
+
+    // The coupling to the crossing layer falls monotonically with the gap.
+    assert!(curve.windows(2).all(|w| w[0].1.abs() > w[1].1.abs()), "coupling must fall with gap");
+
+    let r = result.report();
+    println!(
+        "\n{} jobs on {} worker(s): wall {:.1} ms, busy {:.1} ms, cache hit rate {:.0}%",
+        r.jobs,
+        r.workers,
+        r.wall_seconds * 1e3,
+        r.busy_seconds * 1e3,
+        r.cache.hit_rate() * 100.0
+    );
+    for p in result.points() {
+        println!(
+            "  {:<16} worker {} {:>7.1} ms  {:>5} hits / {:>5} lookups",
+            p.label,
+            p.job.worker,
+            p.job.seconds * 1e3,
+            p.job.cache.hits,
+            p.job.cache.lookups()
+        );
+    }
+    Ok(())
+}

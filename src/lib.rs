@@ -43,6 +43,9 @@ pub use bemcap_quad as quad;
 
 /// Convenient glob-import surface for applications.
 pub mod prelude {
-    pub use bemcap_core::{CapacitanceMatrix, Extraction, Extractor, Method};
+    pub use bemcap_core::{
+        BatchExtractor, BatchJob, BatchPoint, BatchReport, BatchResult, CacheStats,
+        CapacitanceMatrix, Extraction, Extractor, JobReport, Method,
+    };
     pub use bemcap_geom::{structures, Box3, Conductor, Geometry, Mesh, Panel, Point3};
 }

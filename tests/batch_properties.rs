@@ -1,0 +1,97 @@
+//! Property-based tests of the batch extraction invariants: for random
+//! geometry families and pool sizes,
+//!
+//! * results come back in input order whatever the pool size;
+//! * the shared pair-integral cache never changes a result bit;
+//! * every returned capacitance matrix is symmetric, has positive
+//!   diagonal, negative couplings, and is diagonally dominant (positive
+//!   row sums — capacitance to infinity).
+
+use bemcap_core::{BatchExtractor, Extractor};
+use bemcap_geom::structures::{self, CrossingParams};
+use proptest::prelude::*;
+
+fn crossing(h: f64) -> bemcap_geom::Geometry {
+    structures::crossing_wires(CrossingParams { separation: h, ..Default::default() })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// One random family (three separations, shuffled magnitudes) through
+    /// a random pool size, cached — checked against the uncached
+    /// single-worker run and the physical matrix invariants.
+    #[test]
+    fn batch_order_cache_and_matrix_invariants(
+        h1 in 0.3..1.5f64,
+        h2 in 0.3..1.5f64,
+        h3 in 0.3..1.5f64,
+        workers in 1usize..6,
+    ) {
+        let params: Vec<f64> = [h1, h2, h3].iter().map(|h| h * 1e-6).collect();
+        let cached = BatchExtractor::new(Extractor::new())
+            .workers(workers)
+            .extract_family(&params, crossing)
+            .expect("cached batch");
+        // Order: the i-th result is the i-th parameter, not scheduler order.
+        let got: Vec<f64> =
+            cached.points().iter().map(|p| p.parameter.expect("family parameter")).collect();
+        prop_assert_eq!(&got, &params, "workers={}", workers);
+
+        // Cache off, single worker: the reference execution. Must be
+        // bit-identical to the cached, pooled run.
+        let reference = BatchExtractor::new(Extractor::new())
+            .workers(1)
+            .cache(false)
+            .extract_family(&params, crossing)
+            .expect("reference batch");
+        for (a, b) in cached.points().iter().zip(reference.points()) {
+            prop_assert_eq!(
+                a.extraction.capacitance().matrix().as_slice(),
+                b.extraction.capacitance().matrix().as_slice(),
+                "workers={} job={}", workers, a.job.index
+            );
+        }
+
+        // Matrix invariants on every returned point.
+        for p in cached.points() {
+            let c = p.extraction.capacitance();
+            prop_assert!(c.asymmetry() < 1e-6, "asymmetry {}", c.asymmetry());
+            for i in 0..c.dim() {
+                prop_assert!(c.get(i, i) > 0.0, "diagonal {i}");
+                let mut row_sum = 0.0;
+                for j in 0..c.dim() {
+                    if i != j {
+                        prop_assert!(c.get(i, j) < 0.0, "coupling ({i},{j}) = {}", c.get(i, j));
+                    }
+                    row_sum += c.get(i, j);
+                }
+                // Diagonal dominance: self capacitance outweighs the
+                // couplings (the grounded-at-infinity row sum).
+                prop_assert!(row_sum > 0.0, "row {i} sum {row_sum}");
+            }
+        }
+    }
+
+    /// Duplicated parameters: later identical jobs must be pure cache
+    /// hits, and still bit-identical to their first occurrence.
+    #[test]
+    fn duplicate_jobs_are_full_hits(h in 0.35..1.4f64, workers in 1usize..4) {
+        let h = h * 1e-6;
+        let params = [h, h];
+        let result = BatchExtractor::new(Extractor::new())
+            .workers(workers)
+            .extract_family(&params, crossing)
+            .expect("batch");
+        let a = result.points()[0].extraction.capacitance().matrix();
+        let b = result.points()[1].extraction.capacitance().matrix();
+        prop_assert_eq!(a.as_slice(), b.as_slice());
+        // With one worker the second job sees everything the first
+        // computed; with more workers the jobs may race, so only demand
+        // hits when sequential.
+        if workers == 1 {
+            let stats = result.points()[1].job.cache;
+            prop_assert!(stats.misses == 0, "expected pure hits, got {:?}", stats);
+        }
+    }
+}
