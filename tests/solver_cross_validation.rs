@@ -3,10 +3,10 @@
 //! physics.
 
 use bemcap_core::solver::DensePwcSolver;
-use bemcap_core::{Extractor, Method};
+use bemcap_core::{BatchExtractor, Extractor, Method};
 use bemcap_fmm::FmmSolver;
 use bemcap_geom::structures::{self, CrossingParams};
-use bemcap_geom::{Mesh, EPS0};
+use bemcap_geom::{Geometry, Mesh, EPS0};
 use bemcap_pfft::{operator::solve_capacitance as pfft_solve, PfftConfig};
 
 #[test]
@@ -84,6 +84,82 @@ fn parallel_plate_scaling_laws() {
     assert!(tight > 1.5 * base, "gap scaling: {tight} vs {base}");
     // And the ideal-plate floor.
     assert!(base > EPS0 * 1.0e-12 / 0.2e-6);
+}
+
+/// The h-family used by the batch-vs-single cross-validations.
+fn crossing_family(hs: &[f64]) -> Vec<Geometry> {
+    hs.iter()
+        .map(|&h| {
+            structures::crossing_wires(CrossingParams { separation: h, ..Default::default() })
+        })
+        .collect()
+}
+
+#[test]
+fn batch_is_bit_identical_to_single_for_direct_solvers() {
+    // The batch engine re-states the sequential assembly loop (shared
+    // engine, optional cache): for the direct-solve paths the result must
+    // be the *same bits* as one-at-a-time extraction, at any pool size,
+    // cache on or off.
+    let hs = [0.4e-6, 0.7e-6, 1.0e-6];
+    let geos = crossing_family(&hs);
+    for method in [Method::InstantiableBasis, Method::PwcDense] {
+        let ex = Extractor::new().method(method).mesh_divisions(6);
+        let singles: Vec<_> =
+            geos.iter().map(|g| ex.extract(g).expect("single extraction")).collect();
+        for workers in [1, 3] {
+            for cache in [false, true] {
+                let result = BatchExtractor::new(ex.clone())
+                    .workers(workers)
+                    .cache(cache)
+                    .extract_geometries(geos.clone())
+                    .expect("batch extraction");
+                for (single, point) in singles.iter().zip(result.points()) {
+                    assert_eq!(
+                        single.capacitance().matrix().as_slice(),
+                        point.extraction.capacitance().matrix().as_slice(),
+                        "{method:?} workers={workers} cache={cache} job {}",
+                        point.job.index,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_is_tolerance_bounded_for_iterative_solvers() {
+    // FMM and pFFT go through Krylov solves; batch runs them through the
+    // unchanged one-at-a-time path, so agreement should still be far
+    // inside the solver tolerance — but the contract we pin is the
+    // tolerance bound, not bit-identity.
+    let hs = [0.5e-6, 0.9e-6];
+    let geos = crossing_family(&hs);
+    for method in [Method::PwcFmm, Method::PwcPfft] {
+        let ex = Extractor::new().method(method).mesh_divisions(6);
+        let singles: Vec<_> =
+            geos.iter().map(|g| ex.extract(g).expect("single extraction")).collect();
+        let result = BatchExtractor::new(ex.clone())
+            .workers(2)
+            .extract_geometries(geos.clone())
+            .expect("batch extraction");
+        for (single, point) in singles.iter().zip(result.points()) {
+            let a = single.capacitance();
+            let b = point.extraction.capacitance();
+            let scale = a.matrix().max_abs();
+            for i in 0..a.dim() {
+                for j in 0..a.dim() {
+                    assert!(
+                        (a.get(i, j) - b.get(i, j)).abs() < 1e-6 * scale,
+                        "{method:?} job {} entry ({i},{j}): {} vs {}",
+                        point.job.index,
+                        a.get(i, j),
+                        b.get(i, j),
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]
