@@ -89,6 +89,16 @@ impl Template {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TemplateKey([u64; 9]);
 
+impl From<[u64; 9]> for TemplateKey {
+    /// Builds a key from raw words — synthetic identities for cache tests
+    /// and tooling. Keys made this way are distinct from every
+    /// [`Template::key`] only if the caller keeps them distinct; the type
+    /// is an identity token, so no invariant is at risk.
+    fn from(raw: [u64; 9]) -> TemplateKey {
+        TemplateKey(raw)
+    }
+}
+
 /// The Galerkin integral of a template pair (equation (5) entry, raw
 /// kernel — the caller divides by 4πε).
 pub fn pair_integral(eng: &GalerkinEngine, a: &Template, b: &Template) -> f64 {

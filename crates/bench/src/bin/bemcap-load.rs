@@ -1,0 +1,283 @@
+//! `bemcap-load` — load generator for the `bemcapd` extraction daemon.
+//!
+//! Replays a mixed scenario family — an h-sweep, per-net width corners,
+//! and multi-net buses — from N concurrent clients and reports per-pass
+//! throughput and latency percentiles. Pass 0 runs against a cold daemon
+//! cache; later passes hit the warmed process-lifetime `TemplateCache`,
+//! so the cold→warm latency drop is the serving-side measurement of the
+//! paper's reusable-setup economics.
+//!
+//! Self-contained by default (spawns an in-process daemon on a loopback
+//! port); point it at a running daemon with `--addr`:
+//!
+//! ```text
+//! cargo run --release -p bemcap-bench --bin bemcap-load -- \
+//!     [--addr HOST:PORT] [--clients N] [--passes N] [--workers N]
+//!     [--cache-mb N] [--shutdown]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use bemcap_bench::fmt_seconds;
+use bemcap_geom::structures::{self, BusParams, CrossingParams};
+use bemcap_geom::Geometry;
+use bemcap_serve::{Client, ExtractOptions, Server, ServerConfig};
+
+const USAGE: &str = "usage: bemcap-load [--addr HOST:PORT] [--clients N] [--passes N] \
+                     [--workers N] [--cache-mb N] [--shutdown]";
+
+struct Args {
+    addr: Option<String>,
+    clients: usize,
+    passes: usize,
+    workers: usize,
+    cache_mb: usize,
+    shutdown: bool,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args { addr: None, clients: 4, passes: 2, workers: 1, cache_mb: 64, shutdown: false }
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value\n{USAGE}"));
+        let positive = |name: &str, raw: String| {
+            raw.parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("{name} needs a positive integer\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--clients" => args.clients = positive("--clients", value("--clients")?)?,
+            "--passes" => args.passes = positive("--passes", value("--passes")?)?,
+            "--workers" => args.workers = positive("--workers", value("--workers")?)?,
+            "--cache-mb" => args.cache_mb = positive("--cache-mb", value("--cache-mb")?)?,
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The mixed scenario family: one h-sweep, one per-net width-corner
+/// enumeration, and a handful of multi-net buses — the three workload
+/// shapes a production extraction service sees, interleaved.
+fn scenarios() -> Vec<(String, Geometry)> {
+    let mut out = Vec::new();
+    // Sweep family: crossing wires over separation.
+    for i in 0..6 {
+        let h = 0.3e-6 + 0.2e-6 * i as f64;
+        out.push((
+            format!("sweep/h={h:.1e}"),
+            structures::crossing_wires(CrossingParams { separation: h, ..Default::default() }),
+        ));
+    }
+    // Corner family: a 2×2 bus with the wire width at process corners.
+    for (name, factor) in [("slow", 0.93), ("nominal", 1.0), ("fast", 1.07)] {
+        let p = BusParams::default();
+        out.push((
+            format!("corner/{name}"),
+            structures::bus_crossing(2, 2, BusParams { width: p.width * factor, ..p }),
+        ));
+    }
+    // Multi-net buses of growing size.
+    for (m, n) in [(2, 2), (2, 3), (3, 3)] {
+        out.push((format!("bus/{m}x{n}"), structures::bus_crossing(m, n, BusParams::default())));
+    }
+    out
+}
+
+#[derive(Default)]
+struct PassStats {
+    latencies: Vec<f64>,
+    hits: usize,
+    misses: usize,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn run_pass(
+    addr: &str,
+    clients: usize,
+    family: &[(String, Geometry)],
+) -> Result<(PassStats, f64), String> {
+    let start = Instant::now();
+    let results: Vec<Result<PassStats, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || -> Result<PassStats, String> {
+                    let mut client =
+                        Client::connect(addr).map_err(|e| format!("client {c}: connect: {e}"))?;
+                    let mut stats = PassStats::default();
+                    // Offset the start point per client so the mix hits
+                    // the daemon in interleaved order, like real traffic.
+                    for k in 0..family.len() {
+                        let (name, geo) = &family[(c + k) % family.len()];
+                        let t = Instant::now();
+                        let reply = client
+                            .extract(geo, &ExtractOptions::default())
+                            .map_err(|e| format!("client {c}: {name}: {e}"))?;
+                        stats.latencies.push(t.elapsed().as_secs_f64());
+                        stats.hits += reply.cache.hits;
+                        stats.misses += reply.cache.misses;
+                    }
+                    Ok(stats)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let mut total = PassStats::default();
+    for r in results {
+        let s = r?;
+        total.latencies.extend(s.latencies);
+        total.hits += s.hits;
+        total.misses += s.misses;
+    }
+    Ok((total, wall))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Self-contained mode: spawn the daemon in-process on a free port.
+    let (addr, local_daemon) = match &args.addr {
+        Some(addr) => {
+            // --workers / --cache-mb configure the in-process daemon
+            // only; an external daemon keeps its own settings.
+            let defaults = Args::default();
+            if args.workers != defaults.workers || args.cache_mb != defaults.cache_mb {
+                eprintln!(
+                    "bemcap-load: note: --workers/--cache-mb are ignored with --addr \
+                     (the external daemon keeps its own configuration)"
+                );
+            }
+            (addr.clone(), None)
+        }
+        None => {
+            let server = match Server::bind(ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                cache_max_bytes: Some(args.cache_mb << 20),
+                workers: args.workers,
+                ..ServerConfig::default()
+            }) {
+                Ok(server) => server,
+                Err(e) => {
+                    eprintln!("bemcap-load: cannot start in-process daemon: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let handle = match server.spawn() {
+                Ok(handle) => handle,
+                Err(e) => {
+                    eprintln!("bemcap-load: cannot spawn in-process daemon: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "bemcap-load: in-process daemon on {} (workers={}, cache={} MiB)",
+                handle.addr(),
+                args.workers,
+                args.cache_mb
+            );
+            (handle.addr().to_string(), Some(handle))
+        }
+    };
+
+    let family = scenarios();
+    println!(
+        "bemcap-load: {} clients x {} scenarios x {} passes against {}",
+        args.clients,
+        family.len(),
+        args.passes,
+        addr
+    );
+    println!(
+        "{:<8} {:>10} {:>12} {:>10} {:>10} {:>10} {:>9}",
+        "pass", "req/s", "mean", "p50", "p95", "p99", "hit rate"
+    );
+    let mut pass_means = Vec::new();
+    for pass in 0..args.passes {
+        let (stats, wall) = match run_pass(&addr, args.clients, &family) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("bemcap-load: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut sorted = stats.latencies.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let lookups = stats.hits + stats.misses;
+        let hit_rate = if lookups == 0 { 0.0 } else { 100.0 * stats.hits as f64 / lookups as f64 };
+        let label = if pass == 0 { "0 (cold)".to_string() } else { format!("{pass} (warm)") };
+        println!(
+            "{label:<8} {:>10.1} {:>12} {:>10} {:>10} {:>10} {hit_rate:>8.1}%",
+            sorted.len() as f64 / wall,
+            fmt_seconds(mean),
+            fmt_seconds(percentile(&sorted, 0.50)),
+            fmt_seconds(percentile(&sorted, 0.95)),
+            fmt_seconds(percentile(&sorted, 0.99)),
+        );
+        pass_means.push(mean);
+    }
+    if pass_means.len() > 1 {
+        let warm = pass_means[1..].iter().sum::<f64>() / (pass_means.len() - 1) as f64;
+        println!(
+            "warm-cache speedup: {:.2}x (cold mean {} -> warm mean {})",
+            pass_means[0] / warm,
+            fmt_seconds(pass_means[0]),
+            fmt_seconds(warm)
+        );
+    }
+
+    // Daemon-side totals, then optional clean shutdown.
+    let report_and_stop = |stop: bool| -> Result<(), String> {
+        let mut client = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+        let stats = client.stats().map_err(|e| e.to_string())?;
+        println!(
+            "daemon: {} requests over {} connections, cache {} ({} entries, {} KiB resident)",
+            stats.requests,
+            stats.connections,
+            stats.cache,
+            stats.cache_entries,
+            stats.cache_resident_bytes >> 10,
+        );
+        if stop {
+            client.shutdown().map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    };
+    let stop = args.shutdown || local_daemon.is_some();
+    if let Err(e) = report_and_stop(stop) {
+        eprintln!("bemcap-load: final stats: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(handle) = local_daemon {
+        if let Err(e) = handle.join() {
+            eprintln!("bemcap-load: daemon exit: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

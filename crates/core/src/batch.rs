@@ -13,11 +13,15 @@
 //!   reorder or change a result;
 //! * the Galerkin engine is built **once** and shared by every worker;
 //! * with caching enabled (the default), pair integrals are shared across
-//!   jobs through a [`bemcap_basis::TemplateKey`]-keyed cache: families
-//!   that keep part of the geometry fixed (every sweep does) skip the
-//!   integrals of the unchanged template pairs entirely. A cache hit
-//!   returns the very f64 a recomputation would produce, so cached and
-//!   uncached runs yield **bit-identical** capacitance matrices;
+//!   jobs through a [`bemcap_basis::TemplateKey`]-keyed
+//!   [`crate::cache::TemplateCache`]: families that keep part of the
+//!   geometry fixed (every sweep does) skip the integrals of the
+//!   unchanged template pairs entirely. A cache hit returns the very f64
+//!   a recomputation would produce, so cached and uncached runs yield
+//!   **bit-identical** capacitance matrices. By default each run gets a
+//!   private unbounded cache; [`BatchExtractor::shared_cache`] plugs in a
+//!   process-lifetime (optionally memory-bounded) cache instead, which is
+//!   how the `bemcap-serve` daemon keeps integrals warm across requests;
 //! * per-job timings and cache counters come back as
 //!   [`JobReport`]s under a whole-run [`BatchReport`].
 //!
@@ -38,10 +42,7 @@
 //! # Ok::<(), bemcap_core::CoreError>(())
 //! ```
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::time::Instant;
 
 use bemcap_basis::instantiate::instantiate;
@@ -52,6 +53,7 @@ use bemcap_par::{k_to_ij, pool, triangle_size};
 use bemcap_quad::galerkin::GalerkinEngine;
 
 use crate::assembly;
+use crate::cache::{TemplateCache, ENTRY_BYTES};
 use crate::error::CoreError;
 use crate::extraction::{CapacitanceMatrix, Extraction, Extractor, Method};
 use crate::report::{BatchReport, CacheStats, ExtractionReport, JobReport};
@@ -159,14 +161,26 @@ impl BatchResult {
 pub struct BatchExtractor {
     extractor: Extractor,
     workers: Option<usize>,
-    cache: bool,
+    cache: CacheChoice,
+}
+
+/// Which pair-integral cache a batch run uses.
+#[derive(Debug, Clone)]
+enum CacheChoice {
+    /// No caching: every integral is computed.
+    Off,
+    /// A fresh unbounded [`TemplateCache`] per run (the default).
+    PerRun,
+    /// A caller-owned, typically process-lifetime cache shared across
+    /// runs (and across threads — the daemon's configuration).
+    Shared(Arc<TemplateCache>),
 }
 
 impl BatchExtractor {
     /// A batch front end over the given extractor configuration, with
     /// caching enabled and the pool size taken from `BEMCAP_POOL` (or 1).
     pub fn new(extractor: Extractor) -> BatchExtractor {
-        BatchExtractor { extractor, workers: None, cache: true }
+        BatchExtractor { extractor, workers: None, cache: CacheChoice::PerRun }
     }
 
     /// Pins the scheduler pool size.
@@ -183,10 +197,22 @@ impl BatchExtractor {
 
     /// Enables or disables the shared pair-integral cache. Results are
     /// bit-identical either way; only the work (and the reported cache
-    /// counters) changes.
+    /// counters) changes. Enabling restores the default per-run cache,
+    /// discarding any [`BatchExtractor::shared_cache`] choice.
     #[must_use]
     pub fn cache(mut self, on: bool) -> BatchExtractor {
-        self.cache = on;
+        self.cache = if on { CacheChoice::PerRun } else { CacheChoice::Off };
+        self
+    }
+
+    /// Uses a caller-owned [`TemplateCache`] instead of a fresh per-run
+    /// one, so pair integrals survive across batch runs for the lifetime
+    /// of the cache — the configuration behind the `bemcap-serve` daemon.
+    /// Results stay bit-identical whatever the cache's bound or prior
+    /// contents; only the hit/miss/eviction counters change.
+    #[must_use]
+    pub fn shared_cache(mut self, cache: Arc<TemplateCache>) -> BatchExtractor {
+        self.cache = CacheChoice::Shared(cache);
         self
     }
 
@@ -213,11 +239,15 @@ impl BatchExtractor {
             bemcap_accel::fastmath::warm_tables();
         }
         let engine = self.extractor.engine();
-        let cache = if self.cache { Some(PairCache::new()) } else { None };
+        let cache: Option<Arc<TemplateCache>> = match &self.cache {
+            CacheChoice::Off => None,
+            CacheChoice::PerRun => Some(Arc::new(TemplateCache::unbounded())),
+            CacheChoice::Shared(c) => Some(Arc::clone(c)),
+        };
         let start = Instant::now();
         let (outcomes, _) = pool::map_ordered(workers, jobs.len(), |w, idx| {
             let t = Instant::now();
-            let out = self.run_job(&engine, cache.as_ref(), &jobs[idx].geometry);
+            let out = self.run_job(&engine, cache.as_deref(), &jobs[idx].geometry);
             (w, out, t.elapsed().as_secs_f64())
         });
         let wall_seconds = start.elapsed().as_secs_f64();
@@ -245,7 +275,7 @@ impl BatchExtractor {
             report: BatchReport {
                 jobs: jobs.len(),
                 workers,
-                cache_enabled: self.cache,
+                cache_enabled: cache.is_some(),
                 wall_seconds,
                 busy_seconds,
                 cache: total_cache,
@@ -298,7 +328,7 @@ impl BatchExtractor {
     fn run_job(
         &self,
         engine: &GalerkinEngine,
-        cache: Option<&PairCache>,
+        cache: Option<&TemplateCache>,
         geo: &Geometry,
     ) -> Result<(Extraction, CacheStats), CoreError> {
         match self.extractor.method_kind() {
@@ -319,7 +349,7 @@ impl BatchExtractor {
 fn extract_instantiable_cached(
     extractor: &Extractor,
     engine: &GalerkinEngine,
-    cache: Option<&PairCache>,
+    cache: Option<&TemplateCache>,
     geo: &Geometry,
 ) -> Result<(Extraction, CacheStats), CoreError> {
     if geo.conductor_count() == 0 {
@@ -340,14 +370,16 @@ fn extract_instantiable_cached(
         let (i, j) = k_to_ij(k);
         let raw = match cache {
             Some(c) => {
-                let (v, hit) = c.get_or_compute((keys[i], keys[j]), || {
+                let (v, lookup) = c.get_or_compute((keys[i], keys[j]), || {
                     pair_integral(engine, index.template(i), index.template(j))
                 });
-                if hit {
+                if lookup.hit {
                     stats.hits += 1;
                 } else {
                     stats.misses += 1;
+                    stats.inserted_bytes += ENTRY_BYTES;
                 }
+                stats.evictions += lookup.evicted;
                 v
             }
             None => pair_integral(engine, index.template(i), index.template(j)),
@@ -371,53 +403,6 @@ fn extract_instantiable_cached(
         },
     );
     Ok((extraction, stats))
-}
-
-/// A sharded map from template-pair keys to raw pair integrals, shared by
-/// every worker of one batch run.
-///
-/// Keys are exact bit-level template identities ([`TemplateKey`]), so a
-/// hit can only ever return the f64 the engine would have recomputed for
-/// the same inputs — the invariant behind the cache-on/off bit-identity
-/// guarantee. Sharding (fixed 32 shards by key hash) keeps lock traffic
-/// off the hot path; the integral itself is computed outside any lock, so
-/// two workers may rarely duplicate a computation, which is wasted work
-/// but never a wrong answer (both compute identical bits).
-struct PairCache {
-    shards: Vec<Mutex<HashMap<(TemplateKey, TemplateKey), f64>>>,
-}
-
-const CACHE_SHARDS: usize = 32;
-
-impl PairCache {
-    fn new() -> PairCache {
-        PairCache { shards: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
-    }
-
-    fn shard(
-        &self,
-        key: &(TemplateKey, TemplateKey),
-    ) -> &Mutex<HashMap<(TemplateKey, TemplateKey), f64>> {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % CACHE_SHARDS]
-    }
-
-    /// Returns the cached value for `key`, or computes, stores, and
-    /// returns it. The boolean is `true` on a hit.
-    fn get_or_compute(
-        &self,
-        key: (TemplateKey, TemplateKey),
-        f: impl FnOnce() -> f64,
-    ) -> (f64, bool) {
-        let shard = self.shard(&key);
-        if let Some(&v) = shard.lock().expect("pair cache poisoned").get(&key) {
-            return (v, true);
-        }
-        let v = f();
-        shard.lock().expect("pair cache poisoned").insert(key, v);
-        (v, false)
-    }
 }
 
 #[cfg(test)]
@@ -599,5 +584,61 @@ mod tests {
     #[test]
     fn default_pool_size_is_positive() {
         assert!(default_pool_size() >= 1);
+    }
+
+    #[test]
+    fn shared_cache_warms_across_runs() {
+        let cache = Arc::new(TemplateCache::unbounded());
+        let jobs = family(&[0.6e-6, 1.0e-6]);
+        let batch =
+            BatchExtractor::new(Extractor::new()).workers(1).shared_cache(Arc::clone(&cache));
+        let cold = batch.extract_all(&jobs).expect("cold run");
+        let warm = batch.extract_all(&jobs).expect("warm run");
+        // Identical geometries, process-lifetime cache: the second run is
+        // answered entirely from the cache...
+        assert_eq!(warm.report().cache.misses, 0, "warm run must be all hits");
+        assert!(cold.report().cache.misses > 0);
+        // ...and bit-identical to the cold one.
+        for (a, b) in cold.points().iter().zip(warm.points()) {
+            assert_eq!(
+                a.extraction.capacitance().matrix().as_slice(),
+                b.extraction.capacitance().matrix().as_slice()
+            );
+        }
+        assert!(!cache.is_empty());
+        assert_eq!(cache.lifetime().lookups(), cold.report().cache.lookups() * 2);
+    }
+
+    #[test]
+    fn bounded_shared_cache_evicts_but_results_are_unchanged() {
+        // A bound far below the family's working set: evictions must
+        // happen, the bound must hold, and every matrix must still be
+        // bit-identical to the uncached run.
+        let jobs = family(&[0.4e-6, 0.55e-6, 0.7e-6, 0.85e-6, 1.0e-6]);
+        let cache = Arc::new(TemplateCache::with_max_bytes(64 * ENTRY_BYTES));
+        let bounded = BatchExtractor::new(Extractor::new())
+            .workers(1)
+            .shared_cache(Arc::clone(&cache))
+            .extract_all(&jobs)
+            .expect("bounded run");
+        let reference = BatchExtractor::new(Extractor::new())
+            .workers(1)
+            .cache(false)
+            .extract_all(&jobs)
+            .expect("reference");
+        for (a, b) in bounded.points().iter().zip(reference.points()) {
+            assert_eq!(
+                a.extraction.capacitance().matrix().as_slice(),
+                b.extraction.capacitance().matrix().as_slice(),
+                "eviction changed a result at job {}",
+                a.label
+            );
+        }
+        assert!(bounded.report().cache.evictions > 0, "bound this small must evict");
+        assert!(cache.resident_bytes() <= cache.max_bytes().expect("bounded"));
+        assert_eq!(
+            bounded.report().cache.inserted_bytes,
+            bounded.report().cache.misses * ENTRY_BYTES
+        );
     }
 }

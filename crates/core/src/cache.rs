@@ -1,0 +1,354 @@
+//! The process-lifetime pair-integral cache behind batch and service
+//! extraction.
+//!
+//! The paper's instantiable-basis economics (conf_dac_HsiaoD11) make the
+//! pair integral the dominant, *reusable* unit of setup work: two
+//! structures that share a template pair share the integral exactly.
+//! PR 2's batch layer exploited that within one run; this module promotes
+//! the cache to a first-class, process-lifetime object so a long-running
+//! daemon (`bemcap-serve`) can keep integrals warm across requests:
+//!
+//! * **bit-identity** — keys are exact bit-level template identities
+//!   ([`TemplateKey`]), so a hit returns the very `f64` a recomputation
+//!   would produce. Eviction can only cause recomputation, never a
+//!   different answer: results are bit-identical at any bound, including
+//!   zero.
+//! * **bounded memory** — [`TemplateCache::with_max_bytes`] caps the
+//!   resident footprint ([`ENTRY_BYTES`] per entry). When a shard fills,
+//!   the least-recently-used quarter of its entries (by a global epoch
+//!   counter advanced on every lookup) is evicted in one sweep, so the
+//!   bound holds after every insert while keeping the hot working set.
+//! * **sharded locking** — a fixed 32-way shard array keyed by hash keeps
+//!   lock traffic off the hot path; integrals are computed outside any
+//!   lock, so two workers may rarely duplicate a computation, which is
+//!   wasted work but never a wrong answer.
+//!
+//! [`crate::batch::BatchExtractor`] uses a private per-run instance by
+//! default and accepts a shared one via
+//! [`crate::batch::BatchExtractor::shared_cache`]; the daemon constructs
+//! one at startup and shares it across every connection.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use bemcap_basis::TemplateKey;
+
+use crate::report::CacheStats;
+
+/// A cache key: the ordered pair of template identities of one Galerkin
+/// pair integral.
+pub type PairKey = (TemplateKey, TemplateKey);
+
+/// Approximate resident bytes per cache entry, used to convert the
+/// configured memory bound into an entry budget: two 72-byte
+/// [`TemplateKey`]s, the `f64` value, the `u64` epoch, and hash-map slot
+/// overhead, rounded up.
+pub const ENTRY_BYTES: usize = 192;
+
+const SHARDS: usize = 32;
+
+/// Fraction of a full shard evicted in one sweep (a quarter): large
+/// enough to amortize the O(n) epoch scan, small enough to keep the hot
+/// working set resident.
+const EVICT_DENOMINATOR: usize = 4;
+
+struct Entry {
+    value: f64,
+    last_used: u64,
+}
+
+/// The outcome of one [`TemplateCache::get_or_compute`] lookup, for
+/// per-job accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lookup {
+    /// Whether the value came from the cache.
+    pub hit: bool,
+    /// Entries evicted to make room for this insert (0 on hits and on
+    /// unbounded caches).
+    pub evicted: usize,
+}
+
+/// A process-lifetime, memory-bounded, sharded map from template-pair
+/// keys to raw pair integrals. See the module docs for the invariants.
+///
+/// ```
+/// use bemcap_core::cache::TemplateCache;
+///
+/// let cache = TemplateCache::with_max_bytes(16 << 20);
+/// let key = ([1u64; 9].into(), [2u64; 9].into());
+/// let (v, first) = cache.get_or_compute(key, || 42.0);
+/// let (w, second) = cache.get_or_compute(key, || unreachable!("cached"));
+/// assert_eq!((v, w), (42.0, 42.0));
+/// assert!(!first.hit && second.hit);
+/// ```
+pub struct TemplateCache {
+    shards: Vec<Mutex<HashMap<PairKey, Entry>>>,
+    /// Per-shard entry budget; `None` = unbounded.
+    shard_cap: Option<usize>,
+    /// Global logical clock: advanced on every lookup, stamped into the
+    /// touched entry for LRU ordering.
+    epoch: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for TemplateCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TemplateCache")
+            .field("entries", &self.len())
+            .field("max_bytes", &self.max_bytes())
+            .field("lifetime", &self.lifetime())
+            .finish()
+    }
+}
+
+impl TemplateCache {
+    /// A cache with no memory bound — every integral ever computed stays
+    /// resident. The per-run default of [`crate::batch::BatchExtractor`].
+    pub fn unbounded() -> TemplateCache {
+        TemplateCache::build(None)
+    }
+
+    /// A cache bounded to approximately `max_bytes` resident bytes
+    /// ([`ENTRY_BYTES`] per entry). Every bound, however small, leaves at
+    /// least one entry per shard so the cache still absorbs repeats.
+    pub fn with_max_bytes(max_bytes: usize) -> TemplateCache {
+        TemplateCache::build(Some((max_bytes / ENTRY_BYTES / SHARDS).max(1)))
+    }
+
+    fn build(shard_cap: Option<usize>) -> TemplateCache {
+        TemplateCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shard_cap,
+            epoch: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured memory bound in bytes (`None` = unbounded),
+    /// as rounded to the per-shard entry budget actually enforced.
+    pub fn max_bytes(&self) -> Option<usize> {
+        self.shard_cap.map(|cap| cap * SHARDS * ENTRY_BYTES)
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("template cache poisoned").len()).sum()
+    }
+
+    /// `true` when no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate resident bytes ([`ENTRY_BYTES`] per entry).
+    pub fn resident_bytes(&self) -> usize {
+        self.len() * ENTRY_BYTES
+    }
+
+    /// Lifetime counters: every hit, miss, and eviction since
+    /// construction, across all users of the cache.
+    pub fn lifetime(&self) -> CacheStats {
+        let misses = self.misses.load(Ordering::Relaxed) as usize;
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed) as usize,
+            misses,
+            evictions: self.evictions.load(Ordering::Relaxed) as usize,
+            inserted_bytes: misses * ENTRY_BYTES,
+        }
+    }
+
+    /// Drops every resident entry (counters keep running).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("template cache poisoned").clear();
+        }
+    }
+
+    fn shard(&self, key: &PairKey) -> &Mutex<HashMap<PairKey, Entry>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Returns the cached integral for `key`, or computes, stores, and
+    /// returns it, evicting least-recently-used entries first when the
+    /// shard is at its budget. The computation runs outside the shard
+    /// lock.
+    pub fn get_or_compute(&self, key: PairKey, f: impl FnOnce() -> f64) -> (f64, Lookup) {
+        let now = self.epoch.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard(&key);
+        if let Some(entry) = shard.lock().expect("template cache poisoned").get_mut(&key) {
+            entry.last_used = now;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (entry.value, Lookup { hit: true, evicted: 0 });
+        }
+        let value = f();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Re-stamp after the computation: concurrent lookups advanced the
+        // epoch while the integral ran, and stamping the stale `now` would
+        // make the entry we just paid for look like the oldest in the
+        // shard — first in line for eviction instead of freshest.
+        let stamp = self.epoch.fetch_add(1, Ordering::Relaxed);
+        let mut map = shard.lock().expect("template cache poisoned");
+        let mut evicted = 0;
+        if let Some(cap) = self.shard_cap {
+            // Another worker may have inserted the key while we computed;
+            // inserting over it is a no-op for correctness (identical
+            // bits), so only the capacity check needs the fresh state.
+            if !map.contains_key(&key) && map.len() >= cap {
+                evicted = evict_lru(&mut map, cap);
+                self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+            }
+        }
+        map.insert(key, Entry { value, last_used: stamp });
+        (value, Lookup { hit: false, evicted })
+    }
+}
+
+/// Removes the least-recently-used quarter of `map` (at least one entry)
+/// and returns how many were dropped. `map.len() >= cap >= 1` on entry,
+/// so the subsequent insert keeps the shard at or under `cap`.
+fn evict_lru(map: &mut HashMap<PairKey, Entry>, cap: usize) -> usize {
+    let target = (cap / EVICT_DENOMINATOR).max(1);
+    let mut epochs: Vec<u64> = map.values().map(|e| e.last_used).collect();
+    epochs.sort_unstable();
+    // Evict everything not newer than the target-th oldest stamp. Epoch
+    // stamps are unique except for unbounded-cache races (no eviction
+    // there), so this drops exactly `target` entries in practice and at
+    // most a few more if stamps ever tie.
+    let threshold = epochs[target - 1];
+    let before = map.len();
+    map.retain(|_, e| e.last_used > threshold);
+    before - map.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> PairKey {
+        ([i; 9].into(), [i.wrapping_mul(31); 9].into())
+    }
+
+    #[test]
+    fn hit_returns_stored_bits_and_counts() {
+        let cache = TemplateCache::unbounded();
+        let v = 0.1 + 0.2; // a value with a non-trivial bit pattern
+        let (a, l1) = cache.get_or_compute(key(1), || v);
+        let (b, l2) = cache.get_or_compute(key(1), || unreachable!("must hit"));
+        assert_eq!(a.to_bits(), v.to_bits());
+        assert_eq!(b.to_bits(), v.to_bits());
+        assert!(!l1.hit && l2.hit);
+        let stats = cache.lifetime();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 1, 0));
+        assert_eq!(stats.inserted_bytes, ENTRY_BYTES);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.resident_bytes(), ENTRY_BYTES);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = TemplateCache::unbounded();
+        for i in 0..10_000 {
+            cache.get_or_compute(key(i), || i as f64);
+        }
+        assert_eq!(cache.len(), 10_000);
+        assert_eq!(cache.lifetime().evictions, 0);
+        assert_eq!(cache.max_bytes(), None);
+    }
+
+    #[test]
+    fn memory_bound_is_respected_under_pressure() {
+        let max = 512 * ENTRY_BYTES;
+        let cache = TemplateCache::with_max_bytes(max);
+        let bound = cache.max_bytes().expect("bounded");
+        assert!(bound <= max);
+        for i in 0..5_000 {
+            cache.get_or_compute(key(i), || i as f64);
+            assert!(
+                cache.resident_bytes() <= bound,
+                "resident {} over bound {bound} after insert {i}",
+                cache.resident_bytes()
+            );
+        }
+        let stats = cache.lifetime();
+        assert!(stats.evictions > 0, "pressure must evict");
+        assert_eq!(stats.misses, 5_000);
+        // Evicted keys recompute to the same value (bit-identity is
+        // trivially preserved: the cache stores what f returns).
+        let (v, _) = cache.get_or_compute(key(0), || 0.0);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn lru_keeps_the_hot_entry() {
+        // One shard would make this exact; across shards, keep the bound
+        // large enough that only cold keys age out.
+        let cache = TemplateCache::with_max_bytes(256 * ENTRY_BYTES);
+        cache.get_or_compute(key(0), || 7.0);
+        for i in 1..40_000 {
+            // Touch the hot key frequently so its epoch stays fresh.
+            if i % 4 == 0 {
+                let (v, l) = cache.get_or_compute(key(0), || unreachable!("hot key evicted"));
+                assert!(l.hit);
+                assert_eq!(v, 7.0);
+            }
+            cache.get_or_compute(key(i), || i as f64);
+        }
+    }
+
+    #[test]
+    fn tiny_bound_still_caches_repeats() {
+        let cache = TemplateCache::with_max_bytes(1);
+        let (_, l1) = cache.get_or_compute(key(5), || 1.0);
+        let (_, l2) = cache.get_or_compute(key(5), || unreachable!("repeat must hit"));
+        assert!(!l1.hit && l2.hit);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let cache = TemplateCache::unbounded();
+        cache.get_or_compute(key(1), || 1.0);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.lifetime().misses, 1);
+        let (_, l) = cache.get_or_compute(key(1), || 2.0);
+        assert!(!l.hit, "cleared entry recomputes");
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        use std::sync::Arc;
+        let cache = Arc::new(TemplateCache::with_max_bytes(64 * ENTRY_BYTES));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for round in 0..200 {
+                        for i in 0..32 {
+                            let (v, _) = cache.get_or_compute(key(i), || i as f64 * 1.5);
+                            assert_eq!(v, i as f64 * 1.5, "thread {t} round {round}");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker");
+        }
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let cache = TemplateCache::with_max_bytes(1 << 20);
+        let s = format!("{cache:?}");
+        assert!(s.contains("entries") && s.contains("max_bytes"), "{s}");
+    }
+}

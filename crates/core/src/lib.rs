@@ -29,6 +29,7 @@
 
 pub mod assembly;
 pub mod batch;
+pub mod cache;
 pub mod error;
 pub mod extraction;
 pub mod report;
@@ -36,6 +37,7 @@ pub mod solver;
 pub mod sweep;
 
 pub use batch::{BatchExtractor, BatchJob, BatchPoint, BatchResult};
+pub use cache::TemplateCache;
 pub use error::CoreError;
 pub use extraction::{CapacitanceMatrix, Extraction, Extractor, Method};
 pub use report::{BatchReport, CacheStats, ExtractionReport, JobReport};

@@ -1,6 +1,7 @@
 //! Extraction performance records (the raw material of Tables 2 and 3).
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Performance record of one extraction run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -38,8 +39,10 @@ impl ExtractionReport {
     }
 }
 
-/// Pair-integral cache counters: lookups served from the shared batch
-/// cache (`hits`) vs computed by the Galerkin engine (`misses`).
+/// Pair-integral cache counters: lookups served from the shared cache
+/// (`hits`) vs computed by the Galerkin engine (`misses`), plus the
+/// eviction and byte traffic of a memory-bounded
+/// [`crate::cache::TemplateCache`].
 ///
 /// Only the instantiable-basis path of a caching batch run touches the
 /// cache; every other configuration reports all-zero stats.
@@ -49,6 +52,12 @@ pub struct CacheStats {
     pub hits: usize,
     /// Lookups that fell through to the integration engine.
     pub misses: usize,
+    /// Entries evicted to keep the cache inside its memory bound
+    /// (always 0 for unbounded caches).
+    pub evictions: usize,
+    /// Approximate bytes inserted into the cache
+    /// ([`crate::cache::ENTRY_BYTES`] per miss).
+    pub inserted_bytes: usize,
 }
 
 impl CacheStats {
@@ -69,6 +78,20 @@ impl CacheStats {
     pub fn absorb(&mut self, other: CacheStats) {
         self.hits += other.hits;
         self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.inserted_bytes += other.inserted_bytes;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} lookups, {:.1} % hit rate, {} evictions",
+            self.lookups(),
+            100.0 * self.hit_rate(),
+            self.evictions
+        )
     }
 }
 
@@ -109,6 +132,21 @@ impl BatchReport {
             return 0.0;
         }
         self.busy_seconds / (self.workers as f64 * self.wall_seconds)
+    }
+}
+
+impl fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} jobs on {} workers in {:.3} s ({:.0} % efficiency); cache {}: {}",
+            self.jobs,
+            self.workers,
+            self.wall_seconds,
+            100.0 * self.parallel_efficiency(),
+            if self.cache_enabled { "on" } else { "off" },
+            self.cache
+        )
     }
 }
 
@@ -165,10 +203,12 @@ mod tests {
     fn cache_stats_rates_and_absorb() {
         let mut total = CacheStats::default();
         assert_eq!(total.hit_rate(), 0.0);
-        total.absorb(CacheStats { hits: 3, misses: 1 });
-        total.absorb(CacheStats { hits: 1, misses: 3 });
+        total.absorb(CacheStats { hits: 3, misses: 1, evictions: 2, inserted_bytes: 192 });
+        total.absorb(CacheStats { hits: 1, misses: 3, evictions: 1, inserted_bytes: 576 });
         assert_eq!(total.lookups(), 8);
         assert!((total.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(total.evictions, 3);
+        assert_eq!(total.inserted_bytes, 768);
     }
 
     #[test]
@@ -179,10 +219,28 @@ mod tests {
             cache_enabled: true,
             wall_seconds: 2.0,
             busy_seconds: 6.0,
-            cache: CacheStats { hits: 10, misses: 30 },
+            cache: CacheStats { hits: 10, misses: 30, ..CacheStats::default() },
         };
         assert!((r.parallel_efficiency() - 0.75).abs() < 1e-12);
         let idle = BatchReport { wall_seconds: 0.0, ..r };
         assert_eq!(idle.parallel_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn batch_report_display_shows_hit_rate_and_evictions() {
+        let r = BatchReport {
+            jobs: 8,
+            workers: 4,
+            cache_enabled: true,
+            wall_seconds: 2.0,
+            busy_seconds: 6.0,
+            cache: CacheStats { hits: 30, misses: 10, evictions: 5, inserted_bytes: 1920 },
+        };
+        let s = format!("{r}");
+        assert!(s.contains("75.0 % hit rate"), "{s}");
+        assert!(s.contains("5 evictions"), "{s}");
+        assert!(s.contains("8 jobs") && s.contains("cache on"), "{s}");
+        let off = BatchReport { cache_enabled: false, ..r };
+        assert!(format!("{off}").contains("cache off"));
     }
 }

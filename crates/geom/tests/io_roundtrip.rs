@@ -1,0 +1,91 @@
+//! Property test: `parse_geometry ∘ write_geometry` is the identity on
+//! random geometries — **exactly**, not just up to tolerance.
+//!
+//! The `bemcap-serve` wire protocol embeds geometry in this text format,
+//! so the round trip is load-bearing for the daemon's bit-identical
+//! determinism guarantee. Exactness holds because `write_geometry` prints
+//! coordinates with Rust's `{}` formatting (the shortest string that
+//! parses back to the identical `f64`), so no information is lost at any
+//! magnitude.
+
+use bemcap_geom::io::{parse_geometry, write_geometry};
+use bemcap_geom::{Box3, Conductor, Geometry, Point3};
+use proptest::prelude::*;
+
+/// Builds a geometry from plain numeric inputs (the stub proptest only
+/// samples numeric ranges): `conductors` conductors of `boxes` boxes
+/// each, laid out on a grid scaled by 10^`scale`, jittered by the `f`
+/// values so coordinates are "ugly" full-precision floats.
+#[allow(clippy::too_many_arguments)]
+fn build(
+    conductors: usize,
+    boxes: usize,
+    scale: i32,
+    eps: f64,
+    f0: f64,
+    f1: f64,
+    f2: f64,
+    f3: f64,
+) -> Geometry {
+    let unit = 10.0_f64.powi(scale);
+    let mut out = Vec::new();
+    for c in 0..conductors {
+        let mut conductor = Conductor::new(format!("net{c}"));
+        for b in 0..boxes {
+            // Extents strictly positive and at the same magnitude as the
+            // offsets, so min + extent never rounds back onto min.
+            let w = (0.1 + f0) * unit;
+            let h = (0.1 + f1) * unit;
+            let t = (0.1 + f2) * unit;
+            let x0 = (c as f64 * 7.0 + f3 - 3.0) * unit;
+            let y0 = (b as f64 * 5.0 - f0) * unit;
+            let z0 = (f1 - f2) * unit;
+            conductor.push_box(
+                Box3::new(Point3::new(x0, y0, z0), Point3::new(x0 + w, y0 + h, z0 + t))
+                    .expect("positive extents"),
+            );
+        }
+        out.push(conductor);
+    }
+    Geometry::new(out).with_eps_rel(eps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exact identity: every conductor name, every box corner bit, and
+    /// eps_rel survive the text round trip.
+    #[test]
+    fn parse_of_write_is_identity(
+        conductors in 1usize..5,
+        boxes in 1usize..4,
+        scale in -9i32..4,
+        eps in 1.0..12.0f64,
+        f0 in 0.0..1.0f64,
+        f1 in 0.0..1.0f64,
+        f2 in 0.0..1.0f64,
+        f3 in 0.0..1.0f64,
+    ) {
+        let geo = build(conductors, boxes, scale, eps, f0, f1, f2, f3);
+        let text = write_geometry(&geo);
+        let back = parse_geometry(&text).expect("writer output must parse");
+        // Geometry derives PartialEq over names, boxes, and eps_rel; f64
+        // equality here is exact bit equality for non-NaN values.
+        prop_assert_eq!(&back, &geo, "round trip changed the geometry:\n{}", text);
+    }
+
+    /// The writer is a fixed point: write(parse(write(g))) == write(g),
+    /// so daemon-side re-serialization can never drift.
+    #[test]
+    fn write_is_stable_under_reparse(
+        conductors in 1usize..4,
+        scale in -9i32..4,
+        f0 in 0.0..1.0f64,
+        f1 in 0.0..1.0f64,
+    ) {
+        let geo = build(conductors, 2, scale, 3.9, f0, f1, 0.25, 0.75);
+        let text = write_geometry(&geo);
+        let text2 = write_geometry(&parse_geometry(&text).expect("parses"));
+        prop_assert_eq!(&text, &text2);
+    }
+}

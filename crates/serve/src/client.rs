@@ -1,0 +1,340 @@
+//! The `bemcapd` client library: a blocking, line-oriented connection.
+//!
+//! One [`Client`] wraps one TCP connection and issues requests in order
+//! (the protocol has no pipelining; correlation ids exist so callers can
+//! still verify pairing). All numeric payloads decode to the exact `f64`
+//! bits the daemon computed — see [`crate::protocol`].
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use bemcap_core::CacheStats;
+use bemcap_geom::io::write_geometry;
+use bemcap_geom::Geometry;
+use serde_json::Value;
+
+use crate::error::ServeError;
+use crate::protocol::{self, cache_stats_from_value, encode_request, ExtractOptions, Request};
+
+/// A blocking connection to a running `bemcapd`.
+///
+/// ```no_run
+/// use bemcap_serve::{Client, ExtractOptions};
+/// use bemcap_geom::structures::{self, CrossingParams};
+///
+/// let mut client = Client::connect("127.0.0.1:4545")?;
+/// let geo = structures::crossing_wires(CrossingParams::default());
+/// let reply = client.extract(&geo, &ExtractOptions::default())?;
+/// assert!(reply.get(0, 1) < 0.0); // coupling capacitance
+/// # Ok::<(), bemcap_serve::ServeError>(())
+/// ```
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+    next_id: u64,
+}
+
+/// A decoded `extract` response.
+#[derive(Debug, Clone)]
+pub struct ExtractReply {
+    /// Conductor net names, in matrix index order.
+    pub names: Vec<String>,
+    /// Row-major capacitance matrix (farad), bit-identical to the
+    /// daemon-side computation.
+    pub matrix: Vec<Vec<f64>>,
+    /// Solver backend that ran ("instantiable", "pwc-dense", ...).
+    pub method: String,
+    /// System dimension N.
+    pub n: usize,
+    /// Daemon-side setup seconds.
+    pub setup_seconds: f64,
+    /// Daemon-side solve seconds.
+    pub solve_seconds: f64,
+    /// Pair-integral cache counters of this request.
+    pub cache: CacheStats,
+}
+
+impl ExtractReply {
+    /// Entry C_ij.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.matrix[i][j]
+    }
+
+    /// Number of conductors.
+    pub fn dim(&self) -> usize {
+        self.matrix.len()
+    }
+}
+
+/// A decoded `stats` response.
+#[derive(Debug, Clone)]
+pub struct DaemonStats {
+    /// Lifetime cache counters across all connections.
+    pub cache: CacheStats,
+    /// Resident cache entries right now.
+    pub cache_entries: usize,
+    /// Approximate resident cache bytes right now.
+    pub cache_resident_bytes: usize,
+    /// Configured cache bound (`None` = unbounded).
+    pub cache_max_bytes: Option<usize>,
+    /// Seconds since the daemon started.
+    pub uptime_seconds: f64,
+    /// Requests handled since start (all ops, all connections).
+    pub requests: u64,
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Per-request extraction pool size.
+    pub workers: usize,
+}
+
+fn proto_err(msg: impl Into<String>) -> ServeError {
+    ServeError::Protocol(msg.into())
+}
+
+/// Moves the value of `key` out of an owned JSON object.
+fn take_field(v: Value, key: &str) -> Option<Value> {
+    match v {
+        Value::Object(entries) => entries.into_iter().find(|(k, _)| k == key).map(|(_, val)| val),
+        _ => None,
+    }
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the connection fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { reader, stream, next_id: 0 })
+    }
+
+    /// Extracts the capacitance matrix of `geo` on the daemon.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] for daemon-side failures, [`ServeError::Io`]
+    /// / [`ServeError::Protocol`] for transport problems.
+    pub fn extract(
+        &mut self,
+        geo: &Geometry,
+        options: &ExtractOptions,
+    ) -> Result<ExtractReply, ServeError> {
+        self.extract_text(&write_geometry(geo), options)
+    }
+
+    /// Like [`Client::extract`], for geometry already in the
+    /// `bemcap_geom::io` text format.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::extract`].
+    pub fn extract_text(
+        &mut self,
+        geometry: &str,
+        options: &ExtractOptions,
+    ) -> Result<ExtractReply, ServeError> {
+        let id = self.fresh_id();
+        let result = self.roundtrip(&Request::Extract {
+            id: Some(id),
+            geometry: geometry.to_string(),
+            options: *options,
+        })?;
+        let names: Vec<String> = result
+            .get("names")
+            .and_then(Value::as_array)
+            .ok_or_else(|| proto_err("extract response missing 'names'"))?
+            .iter()
+            .map(|v| v.as_str().map(str::to_string))
+            .collect::<Option<_>>()
+            .ok_or_else(|| proto_err("non-string conductor name"))?;
+        let rows = result
+            .get("matrix")
+            .and_then(Value::as_array)
+            .ok_or_else(|| proto_err("extract response missing 'matrix'"))?;
+        let mut matrix: Vec<Vec<f64>> = Vec::with_capacity(rows.len());
+        for row in rows {
+            let cells = row.as_array().ok_or_else(|| proto_err("matrix row is not an array"))?;
+            matrix.push(
+                cells
+                    .iter()
+                    .map(Value::as_f64)
+                    .collect::<Option<Vec<f64>>>()
+                    .ok_or_else(|| proto_err("non-numeric matrix entry"))?,
+            );
+        }
+        if matrix.len() != names.len() || matrix.iter().any(|r| r.len() != names.len()) {
+            return Err(proto_err("matrix shape does not match conductor names"));
+        }
+        let report = result.get("report").ok_or_else(|| proto_err("missing 'report'"))?;
+        let cache = cache_stats_from_value(
+            result.get("cache").ok_or_else(|| proto_err("missing 'cache'"))?,
+        )
+        .map_err(|e| proto_err(e.message))?;
+        Ok(ExtractReply {
+            names,
+            matrix,
+            method: report
+                .get("method")
+                .and_then(Value::as_str)
+                .ok_or_else(|| proto_err("report missing 'method'"))?
+                .to_string(),
+            n: report
+                .get("n")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| proto_err("report missing 'n'"))? as usize,
+            setup_seconds: report.get("setup_seconds").and_then(Value::as_f64).unwrap_or(0.0),
+            solve_seconds: report.get("solve_seconds").and_then(Value::as_f64).unwrap_or(0.0),
+            cache,
+        })
+    }
+
+    /// Liveness probe; checks the protocol version matches.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] on a version mismatch; transport errors
+    /// as usual.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        let id = self.fresh_id();
+        let result = self.roundtrip(&Request::Ping { id: Some(id) })?;
+        match result.get("proto").and_then(Value::as_u64) {
+            Some(protocol::PROTOCOL_VERSION) => Ok(()),
+            Some(v) => Err(proto_err(format!(
+                "protocol version mismatch: daemon speaks {v}, client speaks {}",
+                protocol::PROTOCOL_VERSION
+            ))),
+            None => Err(proto_err("ping response missing 'proto'")),
+        }
+    }
+
+    /// Daemon-level statistics.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::extract`].
+    pub fn stats(&mut self) -> Result<DaemonStats, ServeError> {
+        let id = self.fresh_id();
+        let result = self.roundtrip(&Request::Stats { id: Some(id) })?;
+        let uint = |name: &str| {
+            result
+                .get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| proto_err(format!("stats response missing '{name}'")))
+        };
+        Ok(DaemonStats {
+            cache: cache_stats_from_value(
+                result.get("cache").ok_or_else(|| proto_err("stats missing 'cache'"))?,
+            )
+            .map_err(|e| proto_err(e.message))?,
+            cache_entries: uint("cache_entries")? as usize,
+            cache_resident_bytes: uint("cache_resident_bytes")? as usize,
+            cache_max_bytes: match result.get("cache_max_bytes") {
+                None | Some(Value::Null) => None,
+                Some(v) => {
+                    Some(v.as_u64().ok_or_else(|| proto_err("bad 'cache_max_bytes'"))? as usize)
+                }
+            },
+            uptime_seconds: result.get("uptime_seconds").and_then(Value::as_f64).unwrap_or(0.0),
+            requests: uint("requests")?,
+            connections: uint("connections")?,
+            workers: uint("workers")? as usize,
+        })
+    }
+
+    /// Asks the daemon to shut down cleanly.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::extract`].
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        let id = self.fresh_id();
+        let result = self.roundtrip(&Request::Shutdown { id: Some(id) })?;
+        match result.get("stopping").and_then(Value::as_bool) {
+            Some(true) => Ok(()),
+            _ => Err(proto_err("daemon did not acknowledge shutdown")),
+        }
+    }
+
+    /// Sends one raw frame line (no newline) and returns the full decoded
+    /// response object — the escape hatch for protocol tests.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; the response is returned whether `ok` or not.
+    pub fn send_raw(&mut self, line: &str) -> Result<Value, ServeError> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Sends a request and returns its `result`, enforcing the response
+    /// envelope (`ok`, echoed id, `error` on failure).
+    fn roundtrip(&mut self, request: &Request) -> Result<Value, ServeError> {
+        let response = self.send_raw(&encode_request(request))?;
+        match response.get("ok").and_then(Value::as_bool) {
+            Some(true) => {
+                // Success responses must echo the request id; error
+                // responses may carry null (the daemon cannot always
+                // recover an id from a malformed frame).
+                let expected = match request {
+                    Request::Ping { id }
+                    | Request::Stats { id }
+                    | Request::Shutdown { id }
+                    | Request::Extract { id, .. } => *id,
+                };
+                if let Some(want) = expected {
+                    let got = response.get("id").and_then(Value::as_u64);
+                    if got != Some(want) {
+                        return Err(proto_err(format!(
+                            "response id {got:?} does not match request {want}"
+                        )));
+                    }
+                }
+                // Move the result subtree out of the owned response — an
+                // extract result holds the full matrix, not worth cloning.
+                take_field(response, "result")
+                    .ok_or_else(|| proto_err("ok response missing 'result'"))
+            }
+            Some(false) => {
+                let error = response.get("error");
+                Err(ServeError::Remote {
+                    code: error
+                        .and_then(|e| e.get("code"))
+                        .and_then(Value::as_str)
+                        .unwrap_or("unknown")
+                        .to_string(),
+                    message: error
+                        .and_then(|e| e.get("message"))
+                        .and_then(Value::as_str)
+                        .unwrap_or("daemon reported an error without a message")
+                        .to_string(),
+                })
+            }
+            _ => Err(proto_err("response missing boolean 'ok'")),
+        }
+    }
+
+    fn read_response(&mut self) -> Result<Value, ServeError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(proto_err("daemon closed the connection"));
+        }
+        serde_json::from_str(line.trim_end_matches(['\n', '\r']))
+            .map_err(|e| proto_err(format!("invalid response JSON: {e}")))
+    }
+}

@@ -1,0 +1,49 @@
+//! # bemcap-serve — the long-running extraction service
+//!
+//! The paper's instantiable-basis economics (conf_dac_HsiaoD11) make
+//! per-structure setup cheap and the pair-integral work *reusable*: two
+//! structures sharing a template pair share the integral, bit for bit.
+//! A one-shot CLI throws that reuse away at every process exit. This
+//! crate keeps the engine resident:
+//!
+//! * [`Server`] / the `bemcapd` binary — a std-`TcpListener` daemon
+//!   (thread per connection, no async runtime) speaking a
+//!   newline-delimited JSON protocol, sharing one process-lifetime,
+//!   memory-bounded [`bemcap_core::TemplateCache`] across every request;
+//! * [`Client`] — the matching blocking client library;
+//! * [`protocol`] — the single encode/decode implementation both sides
+//!   use (reference: `docs/WIRE_PROTOCOL.md`).
+//!
+//! Results over the wire are **bit-identical** to in-process extraction:
+//! matrices serialize with Rust's shortest-round-trip `f64` formatting,
+//! and the shared cache only ever returns the exact bits a recomputation
+//! would produce, whatever its bound or eviction history.
+//!
+//! ## Quickstart
+//!
+//! ```text
+//! $ cargo run --release -p bemcap-serve --bin bemcapd -- --addr 127.0.0.1:4545
+//! bemcapd listening on 127.0.0.1:4545 (workers=1, cache=64.0 MiB, frame<=8.0 MiB)
+//! ```
+//!
+//! ```no_run
+//! use bemcap_serve::{Client, ExtractOptions};
+//! use bemcap_geom::structures::{self, CrossingParams};
+//!
+//! let mut client = Client::connect("127.0.0.1:4545")?;
+//! client.ping()?;
+//! let geo = structures::crossing_wires(CrossingParams::default());
+//! let reply = client.extract(&geo, &ExtractOptions::default())?;
+//! println!("C01 = {:e} F (cache {})", reply.get(0, 1), reply.cache);
+//! # Ok::<(), bemcap_serve::ServeError>(())
+//! ```
+
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, DaemonStats, ExtractReply};
+pub use error::ServeError;
+pub use protocol::ExtractOptions;
+pub use server::{Server, ServerConfig, ServerHandle};

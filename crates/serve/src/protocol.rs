@@ -1,0 +1,419 @@
+//! The `bemcapd` wire protocol: newline-delimited JSON frames.
+//!
+//! One request per line, one response per line, in order, over a plain
+//! TCP stream — trivially scriptable (`nc`, shell, any language with a
+//! socket and a JSON parser) and cheap to parse with the vendored
+//! `serde_json` stub. The full field reference lives in
+//! `docs/WIRE_PROTOCOL.md`; this module is the single implementation of
+//! encode and decode, used by both the daemon and the client library so
+//! the two cannot drift.
+//!
+//! Requests carry geometry in the `bemcap_geom::io` text format (embedded
+//! as one JSON string). Responses carry capacitance matrices as `f64`
+//! arrays serialized with Rust's shortest-round-trip formatting, so a
+//! value decoded by the client is **bit-identical** to the `f64` the
+//! engine produced — the property behind the daemon's determinism tests.
+
+use bemcap_core::{CacheStats, Method};
+use serde_json::{json, Value};
+
+/// Protocol revision, reported by the `ping` op. Bump on any
+/// incompatible change to the frame shapes.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Machine-readable error codes of structured error responses.
+pub mod codes {
+    /// The request line is not valid JSON.
+    pub const PARSE: &str = "parse";
+    /// The request line is valid JSON but not a valid request (unknown
+    /// op, missing or mistyped field).
+    pub const BAD_REQUEST: &str = "bad-request";
+    /// The embedded geometry failed to parse or is degenerate.
+    pub const GEOMETRY: &str = "geometry";
+    /// The extraction itself failed.
+    pub const EXTRACTION: &str = "extraction";
+    /// The request frame exceeded the daemon's size limit.
+    pub const OVERSIZED: &str = "oversized";
+    /// The request frame is not valid UTF-8.
+    pub const UTF8: &str = "utf8";
+}
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Extract the capacitance matrix of one geometry.
+    Extract {
+        /// Client-chosen correlation id, echoed in the response.
+        id: Option<u64>,
+        /// Geometry in the `bemcap_geom::io` text format.
+        geometry: String,
+        /// Solver configuration.
+        options: ExtractOptions,
+    },
+    /// Liveness / version probe.
+    Ping {
+        /// Echoed correlation id.
+        id: Option<u64>,
+    },
+    /// Daemon-level statistics (cache residency, lifetime counters).
+    Stats {
+        /// Echoed correlation id.
+        id: Option<u64>,
+    },
+    /// Ask the daemon to stop accepting connections and exit cleanly.
+    Shutdown {
+        /// Echoed correlation id.
+        id: Option<u64>,
+    },
+}
+
+/// Solver configuration of an `extract` request. Every field has a
+/// server-side default, so `{"op":"extract","geometry":"..."}` is a
+/// complete request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtractOptions {
+    /// Solver backend (default [`Method::InstantiableBasis`]).
+    pub method: Method,
+    /// §4.2.3 tabulated-primitive acceleration (default off).
+    pub accelerated: bool,
+    /// Mesh resolution for the piecewise-constant backends
+    /// (`None` = the extractor's default).
+    pub mesh_divisions: Option<usize>,
+}
+
+impl Default for ExtractOptions {
+    fn default() -> ExtractOptions {
+        ExtractOptions {
+            method: Method::InstantiableBasis,
+            accelerated: false,
+            mesh_divisions: None,
+        }
+    }
+}
+
+/// A request decode failure, carrying the error code the daemon should
+/// answer with and the request id when it was recoverable (so error
+/// responses can still echo it for client-side correlation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// One of the [`codes`] constants.
+    pub code: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// The request's correlation id, when it could be parsed before the
+    /// error (always `None` for [`codes::PARSE`] failures).
+    pub id: Option<u64>,
+}
+
+impl WireError {
+    fn bad(message: impl Into<String>) -> WireError {
+        WireError { code: codes::BAD_REQUEST, message: message.into(), id: None }
+    }
+
+    fn with_id(mut self, id: Option<u64>) -> WireError {
+        self.id = id;
+        self
+    }
+}
+
+/// The wire name of a [`Method`] (matches the `method` strings of
+/// extraction reports).
+pub fn method_name(method: Method) -> &'static str {
+    match method {
+        Method::InstantiableBasis => "instantiable",
+        Method::PwcDense => "pwc-dense",
+        Method::PwcFmm => "pwc-fmm",
+        Method::PwcPfft => "pwc-pfft",
+    }
+}
+
+/// Parses a wire method name.
+pub fn parse_method(name: &str) -> Option<Method> {
+    match name {
+        "instantiable" => Some(Method::InstantiableBasis),
+        "pwc-dense" => Some(Method::PwcDense),
+        "pwc-fmm" => Some(Method::PwcFmm),
+        "pwc-pfft" => Some(Method::PwcPfft),
+        _ => None,
+    }
+}
+
+fn id_of(v: &Value) -> Result<Option<u64>, WireError> {
+    match v.get("id") {
+        None => Ok(None),
+        Some(Value::Null) => Ok(None),
+        Some(id) => id
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| WireError::bad("'id' must be a non-negative integer")),
+    }
+}
+
+/// Decodes one request line. Unknown top-level fields are ignored for
+/// forward compatibility; unknown ops and mistyped fields are errors.
+///
+/// # Errors
+///
+/// [`WireError`] with code [`codes::PARSE`] for invalid JSON,
+/// [`codes::BAD_REQUEST`] for a well-formed but invalid request.
+pub fn decode_request(line: &str) -> Result<Request, WireError> {
+    let v = serde_json::from_str(line).map_err(|e| WireError {
+        code: codes::PARSE,
+        message: e.to_string(),
+        id: None,
+    })?;
+    let id = id_of(&v)?;
+    decode_op(&v, id).map_err(|e| e.with_id(id))
+}
+
+fn decode_op(v: &Value, id: Option<u64>) -> Result<Request, WireError> {
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| WireError::bad("request needs a string 'op' field"))?;
+    match op {
+        "ping" => Ok(Request::Ping { id }),
+        "stats" => Ok(Request::Stats { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        "extract" => {
+            let geometry = v
+                .get("geometry")
+                .and_then(Value::as_str)
+                .ok_or_else(|| WireError::bad("'extract' needs a string 'geometry' field"))?
+                .to_string();
+            let mut options = ExtractOptions::default();
+            // Optional fields: absent and null both mean "use the
+            // default" (the encoder emits null for unset options).
+            if let Some(m) = v.get("method").filter(|m| !m.is_null()) {
+                let name = m.as_str().ok_or_else(|| WireError::bad("'method' must be a string"))?;
+                options.method = parse_method(name).ok_or_else(|| {
+                    WireError::bad(format!(
+                        "unknown method '{name}' (expected instantiable, pwc-dense, pwc-fmm or pwc-pfft)"
+                    ))
+                })?;
+            }
+            if let Some(a) = v.get("accelerated").filter(|a| !a.is_null()) {
+                options.accelerated =
+                    a.as_bool().ok_or_else(|| WireError::bad("'accelerated' must be a boolean"))?;
+            }
+            if let Some(d) = v.get("mesh_divisions").filter(|d| !d.is_null()) {
+                let n = d
+                    .as_u64()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| WireError::bad("'mesh_divisions' must be a positive integer"))?;
+                options.mesh_divisions = Some(n as usize);
+            }
+            Ok(Request::Extract { id, geometry, options })
+        }
+        other => Err(WireError::bad(format!(
+            "unknown op '{other}' (expected extract, ping, stats or shutdown)"
+        ))),
+    }
+}
+
+/// Encodes a request as one frame line (no trailing newline).
+pub fn encode_request(req: &Request) -> String {
+    let v = match req {
+        Request::Ping { id } => json!({ "op": "ping", "id": *id }),
+        Request::Stats { id } => json!({ "op": "stats", "id": *id }),
+        Request::Shutdown { id } => json!({ "op": "shutdown", "id": *id }),
+        Request::Extract { id, geometry, options } => json!({
+            "op": "extract",
+            "id": *id,
+            "geometry": geometry.as_str(),
+            "method": method_name(options.method),
+            "accelerated": options.accelerated,
+            "mesh_divisions": options.mesh_divisions,
+        }),
+    };
+    serde_json::to_string(&v).expect("stub serializer is infallible")
+}
+
+fn id_value(id: Option<u64>) -> Value {
+    id.map_or(Value::Null, |n| Value::Number(n as f64))
+}
+
+/// Encodes a success response frame around `result`.
+pub fn ok_response(id: Option<u64>, result: Value) -> String {
+    let v = json!({ "id": id_value(id), "ok": true, "result": result });
+    serde_json::to_string(&v).expect("stub serializer is infallible")
+}
+
+/// Encodes a structured error response frame.
+pub fn error_response(id: Option<u64>, code: &str, message: &str) -> String {
+    let v = json!({
+        "id": id_value(id),
+        "ok": false,
+        "error": json!({ "code": code, "message": message }),
+    });
+    serde_json::to_string(&v).expect("stub serializer is infallible")
+}
+
+/// Serializes cache counters for a response body.
+pub fn cache_stats_value(stats: &CacheStats) -> Value {
+    json!({
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "evictions": stats.evictions,
+        "inserted_bytes": stats.inserted_bytes,
+        "hit_rate": stats.hit_rate(),
+    })
+}
+
+/// Decodes cache counters from a response body.
+///
+/// # Errors
+///
+/// [`WireError`] with [`codes::BAD_REQUEST`] when a field is missing or
+/// mistyped.
+pub fn cache_stats_from_value(v: &Value) -> Result<CacheStats, WireError> {
+    let field = |name: &str| {
+        v.get(name)
+            .and_then(Value::as_u64)
+            .map(|n| n as usize)
+            .ok_or_else(|| WireError::bad(format!("cache stats missing '{name}'")))
+    };
+    Ok(CacheStats {
+        hits: field("hits")?,
+        misses: field("misses")?,
+        evictions: field("evictions")?,
+        inserted_bytes: field("inserted_bytes")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let reqs = [
+            Request::Ping { id: Some(7) },
+            Request::Stats { id: None },
+            Request::Shutdown { id: Some(0) },
+            Request::Extract {
+                id: Some(3),
+                geometry: "conductor a\nbox 0 0 0 1 1 1\n".into(),
+                options: ExtractOptions {
+                    method: Method::PwcDense,
+                    accelerated: true,
+                    mesh_divisions: Some(6),
+                },
+            },
+        ];
+        for req in reqs {
+            let line = encode_request(&req);
+            assert!(!line.contains('\n'), "frames are single lines: {line}");
+            assert_eq!(decode_request(&line).unwrap(), req, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn minimal_extract_request_uses_defaults() {
+        let req = decode_request(r#"{"op":"extract","geometry":"conductor a\nbox 0 0 0 1 1 1\n"}"#)
+            .unwrap();
+        match req {
+            Request::Extract { id, options, .. } => {
+                assert_eq!(id, None);
+                assert_eq!(options, ExtractOptions::default());
+            }
+            other => panic!("expected extract, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_top_level_fields_are_ignored() {
+        let req = decode_request(r#"{"op":"ping","id":1,"future_field":[1,2]}"#).unwrap();
+        assert_eq!(req, Request::Ping { id: Some(1) });
+    }
+
+    #[test]
+    fn decode_errors_carry_codes() {
+        assert_eq!(decode_request("not json").unwrap_err().code, codes::PARSE);
+        assert_eq!(decode_request("{}").unwrap_err().code, codes::BAD_REQUEST);
+        assert_eq!(decode_request(r#"{"op":"launch"}"#).unwrap_err().code, codes::BAD_REQUEST);
+        assert_eq!(decode_request(r#"{"op":"extract"}"#).unwrap_err().code, codes::BAD_REQUEST);
+        assert_eq!(
+            decode_request(r#"{"op":"extract","geometry":"x","method":"magic"}"#).unwrap_err().code,
+            codes::BAD_REQUEST
+        );
+        assert_eq!(
+            decode_request(r#"{"op":"extract","geometry":"x","mesh_divisions":0}"#)
+                .unwrap_err()
+                .code,
+            codes::BAD_REQUEST
+        );
+        assert_eq!(
+            decode_request(r#"{"op":"ping","id":-1}"#).unwrap_err().code,
+            codes::BAD_REQUEST
+        );
+        assert_eq!(
+            decode_request(r#"{"op":"ping","id":1.5}"#).unwrap_err().code,
+            codes::BAD_REQUEST
+        );
+    }
+
+    #[test]
+    fn bad_request_errors_keep_the_recoverable_id() {
+        let e = decode_request(r#"{"op":"extract","id":9,"geometry":"g","method":"magic"}"#)
+            .unwrap_err();
+        assert_eq!((e.code, e.id), (codes::BAD_REQUEST, Some(9)));
+        let e = decode_request(r#"{"op":"fly","id":3}"#).unwrap_err();
+        assert_eq!(e.id, Some(3));
+        // Parse failures never have an id; a bad id field cannot echo it.
+        assert_eq!(decode_request("not json").unwrap_err().id, None);
+        assert_eq!(decode_request(r#"{"op":"ping","id":-1}"#).unwrap_err().id, None);
+    }
+
+    #[test]
+    fn null_id_is_accepted() {
+        assert_eq!(
+            decode_request(r#"{"op":"ping","id":null}"#).unwrap(),
+            Request::Ping { id: None }
+        );
+    }
+
+    #[test]
+    fn null_optional_fields_mean_defaults() {
+        // The encoder emits null for unset options; the decoder must
+        // treat that exactly like an absent field.
+        let line = r#"{"op":"extract","geometry":"g","method":null,"accelerated":null,"mesh_divisions":null}"#;
+        match decode_request(line).unwrap() {
+            Request::Extract { options, .. } => assert_eq!(options, ExtractOptions::default()),
+            other => panic!("expected extract, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn method_names_round_trip() {
+        for m in [Method::InstantiableBasis, Method::PwcDense, Method::PwcFmm, Method::PwcPfft] {
+            assert_eq!(parse_method(method_name(m)), Some(m));
+        }
+        assert_eq!(parse_method("fastcap"), None);
+    }
+
+    #[test]
+    fn responses_are_single_lines_with_echoed_id() {
+        let ok = ok_response(Some(9), json!({ "pong": true }));
+        let v = serde_json::from_str(&ok).unwrap();
+        assert_eq!(v["id"].as_u64(), Some(9));
+        assert_eq!(v["ok"].as_bool(), Some(true));
+        assert_eq!(v["result"]["pong"].as_bool(), Some(true));
+
+        let err = error_response(None, codes::OVERSIZED, "frame too large");
+        let v = serde_json::from_str(&err).unwrap();
+        assert!(v["id"].is_null());
+        assert_eq!(v["ok"].as_bool(), Some(false));
+        assert_eq!(v["error"]["code"].as_str(), Some(codes::OVERSIZED));
+        assert!(!ok.contains('\n') && !err.contains('\n'));
+    }
+
+    #[test]
+    fn cache_stats_round_trip() {
+        let stats = CacheStats { hits: 10, misses: 4, evictions: 2, inserted_bytes: 768 };
+        let v = cache_stats_value(&stats);
+        assert_eq!(cache_stats_from_value(&v).unwrap(), stats);
+        assert!((v["hit_rate"].as_f64().unwrap() - 10.0 / 14.0).abs() < 1e-12);
+        assert!(cache_stats_from_value(&json!({ "hits": 1 })).is_err());
+    }
+}

@@ -1,0 +1,499 @@
+//! The `bemcapd` daemon: a std-`TcpListener` extraction service.
+//!
+//! One OS thread per connection reads newline-delimited JSON requests
+//! (see [`crate::protocol`]) and answers in order. All connections share
+//! one process-lifetime [`TemplateCache`], so the pair integrals a
+//! request computes stay warm for every later request — the serving-side
+//! payoff of the paper's instantiable-basis economics: per-structure
+//! setup is cheap, and what little there is gets amortized across the
+//! daemon's lifetime instead of one process run.
+//!
+//! Robustness rules (tested in `tests/serve_daemon.rs`):
+//!
+//! * malformed JSON, bad requests, geometry errors, and extraction
+//!   failures all produce a structured `{"ok":false,...}` response on the
+//!   same connection — the daemon never panics on input and never drops a
+//!   connection silently while the peer is still there;
+//! * frames larger than [`ServerConfig::max_frame_bytes`] are drained and
+//!   answered with an `oversized` error without buffering the payload;
+//! * non-UTF-8 frames get a `utf8` error;
+//! * a truncated frame (peer vanished mid-line) just ends the connection.
+//!
+//! Shutdown: the `shutdown` op flips a flag; the accept loop stops, every
+//! connection thread notices within its read-timeout tick, finishes its
+//! in-flight request, and [`Server::run`] returns after joining them all.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bemcap_core::batch::default_pool_size;
+use bemcap_core::cache::TemplateCache;
+use bemcap_core::{BatchExtractor, BatchJob, CoreError, Extractor};
+use bemcap_geom::io::parse_geometry;
+use serde_json::{json, Value};
+
+use crate::protocol::{
+    self, cache_stats_value, codes, error_response, ok_response, ExtractOptions, Request,
+    PROTOCOL_VERSION,
+};
+
+/// How often a blocked connection read wakes up to check the shutdown
+/// flag (and how often the accept loop polls). Bounds shutdown latency.
+const POLL_TICK: Duration = Duration::from_millis(50);
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Memory bound of the shared [`TemplateCache`] in bytes
+    /// (`None` = unbounded). Default 64 MiB.
+    pub cache_max_bytes: Option<usize>,
+    /// Worker pool size for each request's extraction (the `bemcap-par`
+    /// pool under `BatchExtractor`). Default: `BEMCAP_POOL` or 1.
+    pub workers: usize,
+    /// Largest accepted request frame in bytes. Default 8 MiB.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            cache_max_bytes: Some(64 << 20),
+            workers: default_pool_size(),
+            max_frame_bytes: 8 << 20,
+        }
+    }
+}
+
+struct ServerState {
+    cfg: ServerConfig,
+    cache: Arc<TemplateCache>,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    connections: AtomicU64,
+    started: Instant,
+}
+
+impl ServerState {
+    fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound, not-yet-running daemon. [`Server::bind`] → [`Server::run`]
+/// (blocking) or [`Server::spawn`] (background thread, for tests and
+/// embedded use).
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the listener and builds the process-lifetime cache. Also
+    /// pre-builds the §4.2.3 accel tables so no request is ever billed
+    /// for them.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidInput`] for a zero worker count; any
+    /// socket error from bind.
+    pub fn bind(cfg: ServerConfig) -> io::Result<Server> {
+        if cfg.workers == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "daemon needs at least one extraction worker",
+            ));
+        }
+        let listener = TcpListener::bind(cfg.addr.as_str())?;
+        listener.set_nonblocking(true)?;
+        bemcap_accel::fastmath::warm_tables();
+        let cache = Arc::new(match cfg.cache_max_bytes {
+            Some(bytes) => TemplateCache::with_max_bytes(bytes),
+            None => TemplateCache::unbounded(),
+        });
+        let state = Arc::new(ServerState {
+            cfg,
+            cache,
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            started: Instant::now(),
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The address actually bound (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Any socket error from `local_addr`.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The daemon's shared pair-integral cache.
+    pub fn cache(&self) -> Arc<TemplateCache> {
+        Arc::clone(&self.state.cache)
+    }
+
+    /// Serves until a `shutdown` request arrives, then joins every
+    /// connection thread and returns.
+    ///
+    /// # Errors
+    ///
+    /// Fatal accept-loop socket errors (per-connection errors are handled
+    /// per connection).
+    pub fn run(self) -> io::Result<()> {
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if self.state.stopping() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let state = Arc::clone(&self.state);
+                    state.connections.fetch_add(1, Ordering::Relaxed);
+                    handlers.push(std::thread::spawn(move || handle_connection(&state, stream)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_TICK);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            // Reap finished handlers so a long-lived daemon does not grow
+            // an unbounded join list.
+            handlers.retain(|h| !h.is_finished());
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+
+    /// Runs the daemon on a background thread; the returned handle knows
+    /// the bound address and joins on [`ServerHandle::join`].
+    ///
+    /// # Errors
+    ///
+    /// Any socket error from `local_addr`.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let cache = self.cache();
+        let thread = std::thread::spawn(move || self.run());
+        Ok(ServerHandle { addr, cache, thread })
+    }
+}
+
+/// A daemon running on a background thread (see [`Server::spawn`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    cache: Arc<TemplateCache>,
+    thread: std::thread::JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address to connect clients to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon's shared pair-integral cache.
+    pub fn cache(&self) -> Arc<TemplateCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Waits for the daemon to shut down (send the `shutdown` op first).
+    ///
+    /// # Errors
+    ///
+    /// The daemon's exit status; panics if the daemon thread panicked.
+    pub fn join(self) -> io::Result<()> {
+        self.thread.join().expect("daemon thread panicked")
+    }
+}
+
+/// One frame from the peer: a complete line, or notice that the line
+/// blew the size limit (already drained to its newline).
+enum Frame {
+    Line(Vec<u8>),
+    Oversized,
+}
+
+/// Reads newline-delimited frames with a size cap, waking on the read
+/// timeout to poll `stop`. Returns `Ok(None)` on EOF (including a
+/// truncated final frame — the peer is gone, there is nobody to answer)
+/// or when `stop` fires.
+fn next_frame(
+    reader: &mut BufReader<TcpStream>,
+    max: usize,
+    stop: &dyn Fn() -> bool,
+) -> io::Result<Option<Frame>> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(available) => available,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop() {
+                    return Ok(None);
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(None);
+        }
+        let (consumed, complete) = match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if !oversized {
+                    line.extend_from_slice(&available[..pos]);
+                }
+                (pos + 1, true)
+            }
+            None => {
+                if !oversized {
+                    line.extend_from_slice(available);
+                }
+                (available.len(), false)
+            }
+        };
+        reader.consume(consumed);
+        // Strip a CRLF terminator before the size check, so a payload of
+        // exactly `max` bytes is accepted whether the peer ends frames
+        // with \n or \r\n (a \r mid-frame is payload and still counts).
+        if complete && line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        if line.len() > max {
+            oversized = true;
+            line.clear();
+        }
+        if complete {
+            return Ok(Some(if oversized { Frame::Oversized } else { Frame::Line(line) }));
+        }
+    }
+}
+
+fn handle_connection(state: &ServerState, stream: TcpStream) {
+    // Per-connection failures just end the connection: the peer is gone
+    // or the socket is broken, so there is nobody left to tell.
+    let _ = serve_connection(state, stream);
+}
+
+fn serve_connection(state: &ServerState, stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL_TICK))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let stop = || state.stopping();
+    loop {
+        let frame = match next_frame(&mut reader, state.cfg.max_frame_bytes, &stop)? {
+            None => return Ok(()),
+            Some(frame) => frame,
+        };
+        let response = match frame {
+            Frame::Oversized => error_response(
+                None,
+                codes::OVERSIZED,
+                &format!("request frame exceeds {} bytes", state.cfg.max_frame_bytes),
+            ),
+            Frame::Line(bytes) => match std::str::from_utf8(&bytes) {
+                Err(e) => error_response(None, codes::UTF8, &format!("request is not UTF-8: {e}")),
+                Ok(line) if line.trim().is_empty() => continue,
+                Ok(line) => dispatch(state, line),
+            },
+        };
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+}
+
+/// Handles one request line and returns the response line. Never panics
+/// on any input; every failure maps to a structured error response.
+fn dispatch(state: &ServerState, line: &str) -> String {
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    let request = match protocol::decode_request(line) {
+        Ok(request) => request,
+        // Echo the id when the decoder recovered one (it is None only
+        // when the frame never parsed far enough to have an id).
+        Err(e) => return error_response(e.id, e.code, &e.message),
+    };
+    match request {
+        Request::Ping { id } => ok_response(
+            id,
+            json!({ "pong": true, "proto": PROTOCOL_VERSION, "version": env!("CARGO_PKG_VERSION") }),
+        ),
+        Request::Stats { id } => {
+            let cache = &state.cache;
+            ok_response(
+                id,
+                json!({
+                    "cache": cache_stats_value(&cache.lifetime()),
+                    "cache_entries": cache.len(),
+                    "cache_resident_bytes": cache.resident_bytes(),
+                    "cache_max_bytes": cache.max_bytes(),
+                    "uptime_seconds": state.started.elapsed().as_secs_f64(),
+                    "requests": state.requests.load(Ordering::Relaxed) as f64,
+                    "connections": state.connections.load(Ordering::Relaxed) as f64,
+                    "workers": state.cfg.workers,
+                }),
+            )
+        }
+        Request::Shutdown { id } => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            ok_response(id, json!({ "stopping": true }))
+        }
+        Request::Extract { id, geometry, options } => match extract(state, &geometry, options) {
+            Ok(result) => ok_response(id, result),
+            Err(e) => error_response(id, e.code, &e.message),
+        },
+    }
+}
+
+struct DispatchError {
+    code: &'static str,
+    message: String,
+}
+
+fn extract(
+    state: &ServerState,
+    geometry: &str,
+    options: ExtractOptions,
+) -> Result<Value, DispatchError> {
+    let geo = parse_geometry(geometry)
+        .map_err(|e| DispatchError { code: codes::GEOMETRY, message: e.to_string() })?;
+    let mut extractor = Extractor::new().method(options.method).accelerated(options.accelerated);
+    if let Some(d) = options.mesh_divisions {
+        extractor = extractor.mesh_divisions(d);
+    }
+    let batch = BatchExtractor::new(extractor)
+        .workers(state.cfg.workers)
+        .shared_cache(Arc::clone(&state.cache));
+    let result = batch
+        .extract_all(&[BatchJob::new("request", geo)])
+        .map_err(|e| DispatchError { code: codes::EXTRACTION, message: flatten(&e).to_string() })?;
+    let point = &result.points()[0];
+    let c = point.extraction.capacitance();
+    let report = point.extraction.report();
+    let matrix: Vec<Value> = (0..c.dim())
+        .map(|i| Value::Array((0..c.dim()).map(|j| Value::Number(c.get(i, j))).collect()))
+        .collect();
+    Ok(json!({
+        "names": c.names().to_vec(),
+        "matrix": Value::Array(matrix),
+        "report": json!({
+            "method": report.method.as_str(),
+            "n": report.n,
+            "m_templates": report.m_templates,
+            "setup_seconds": report.setup_seconds,
+            "solve_seconds": report.solve_seconds,
+            "memory_bytes": report.memory_bytes,
+        }),
+        "cache": cache_stats_value(&point.job.cache),
+    }))
+}
+
+/// The daemon wraps each request in a 1-job batch; unwrap the BatchJob
+/// layer so clients see the underlying cause, not "batch job 0 failed".
+fn flatten(e: &CoreError) -> &CoreError {
+    match e {
+        CoreError::BatchJob { source, .. } => flatten(source),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_state(max_frame: usize) -> ServerState {
+        ServerState {
+            cfg: ServerConfig { max_frame_bytes: max_frame, workers: 1, ..ServerConfig::default() },
+            cache: Arc::new(TemplateCache::unbounded()),
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn dispatch_ping_stats_and_errors() {
+        let state = test_state(1 << 20);
+        let v = serde_json::from_str(&dispatch(&state, r#"{"op":"ping","id":5}"#)).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(true));
+        assert_eq!(v["id"].as_u64(), Some(5));
+        assert_eq!(v["result"]["proto"].as_u64(), Some(PROTOCOL_VERSION));
+
+        let v = serde_json::from_str(&dispatch(&state, "certainly not json")).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(false));
+        assert_eq!(v["error"]["code"].as_str(), Some(codes::PARSE));
+
+        let v = serde_json::from_str(&dispatch(&state, r#"{"op":"fly"}"#)).unwrap();
+        assert_eq!(v["error"]["code"].as_str(), Some(codes::BAD_REQUEST));
+
+        let v = serde_json::from_str(&dispatch(&state, r#"{"op":"stats"}"#)).unwrap();
+        assert_eq!(v["result"]["requests"].as_u64(), Some(4));
+        assert_eq!(v["result"]["cache_entries"].as_u64(), Some(0));
+    }
+
+    #[test]
+    fn dispatch_extract_and_geometry_error() {
+        let state = test_state(1 << 20);
+        let line = r#"{"op":"extract","id":1,"geometry":"conductor a\nbox 0 0 0 1e-6 1e-6 1e-6\nconductor b\nbox 0 0 2e-6 1e-6 1e-6 3e-6\n"}"#;
+        let v = serde_json::from_str(&dispatch(&state, line)).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(true), "{v:?}");
+        let result = &v["result"];
+        assert_eq!(result["names"][0].as_str(), Some("a"));
+        assert_eq!(result["matrix"].as_array().unwrap().len(), 2);
+        assert!(result["matrix"][0][0].as_f64().unwrap() > 0.0);
+        assert!(result["matrix"][0][1].as_f64().unwrap() < 0.0);
+        assert_eq!(result["report"]["method"].as_str(), Some("instantiable"));
+        assert!(!state.cache.is_empty(), "extraction must warm the daemon cache");
+
+        let v = serde_json::from_str(&dispatch(
+            &state,
+            r#"{"op":"extract","id":2,"geometry":"box 0 0 0 1 1 1\n"}"#,
+        ))
+        .unwrap();
+        assert_eq!(v["error"]["code"].as_str(), Some(codes::GEOMETRY));
+        assert_eq!(v["id"].as_u64(), Some(2));
+
+        // A conductor-less description is rejected at the geometry layer.
+        let v = serde_json::from_str(&dispatch(
+            &state,
+            r#"{"op":"extract","geometry":"eps_rel 1.0\n"}"#,
+        ))
+        .unwrap();
+        assert_eq!(v["error"]["code"].as_str(), Some(codes::GEOMETRY));
+    }
+
+    #[test]
+    fn extract_error_is_flattened() {
+        let e = CoreError::BatchJob {
+            index: 0,
+            parameter: None,
+            source: Box::new(CoreError::EmptyGeometry),
+        };
+        assert!(matches!(flatten(&e), CoreError::EmptyGeometry));
+    }
+
+    #[test]
+    fn shutdown_flips_the_flag() {
+        let state = test_state(1 << 20);
+        assert!(!state.stopping());
+        let v = serde_json::from_str(&dispatch(&state, r#"{"op":"shutdown"}"#)).unwrap();
+        assert_eq!(v["result"]["stopping"].as_bool(), Some(true));
+        assert!(state.stopping());
+    }
+}

@@ -40,12 +40,14 @@ pub use bemcap_linalg as linalg;
 pub use bemcap_par as par;
 pub use bemcap_pfft as pfft;
 pub use bemcap_quad as quad;
+pub use bemcap_serve as serve;
 
 /// Convenient glob-import surface for applications.
 pub mod prelude {
     pub use bemcap_core::{
         BatchExtractor, BatchJob, BatchPoint, BatchReport, BatchResult, CacheStats,
-        CapacitanceMatrix, Extraction, Extractor, JobReport, Method,
+        CapacitanceMatrix, Extraction, Extractor, JobReport, Method, TemplateCache,
     };
     pub use bemcap_geom::{structures, Box3, Conductor, Geometry, Mesh, Panel, Point3};
+    pub use bemcap_serve::{Client, ExtractOptions, ServeError, Server, ServerConfig};
 }

@@ -7,6 +7,9 @@
 //!   diagonal, negative couplings, and is diagonally dominant (positive
 //!   row sums — capacitance to infinity).
 
+use std::sync::Arc;
+
+use bemcap_core::cache::{TemplateCache, ENTRY_BYTES};
 use bemcap_core::{BatchExtractor, Extractor};
 use bemcap_geom::structures::{self, CrossingParams};
 use proptest::prelude::*;
@@ -53,6 +56,22 @@ proptest! {
             );
         }
 
+        // Cache accounting invariants: the default per-run cache is
+        // unbounded, so nothing ever gets evicted, every miss inserts
+        // exactly one entry, and the report aggregates the per-job
+        // counters; the human-readable report surfaces hit rate and
+        // evictions.
+        let total = cached.report().cache;
+        prop_assert_eq!(total.evictions, 0, "unbounded cache must not evict");
+        prop_assert_eq!(total.inserted_bytes, total.misses * ENTRY_BYTES);
+        let summed = cached.points().iter().fold((0, 0), |(e, b), p| {
+            (e + p.job.cache.evictions, b + p.job.cache.inserted_bytes)
+        });
+        prop_assert_eq!((total.evictions, total.inserted_bytes), summed);
+        let shown = format!("{}", cached.report());
+        prop_assert!(shown.contains("% hit rate"), "display shows hit rate: {}", shown);
+        prop_assert!(shown.contains("evictions"), "display shows evictions: {}", shown);
+
         // Matrix invariants on every returned point.
         for p in cached.points() {
             let c = p.extraction.capacitance();
@@ -93,5 +112,47 @@ proptest! {
             let stats = result.points()[1].job.cache;
             prop_assert!(stats.misses == 0, "expected pure hits, got {:?}", stats);
         }
+    }
+
+    /// A memory-bounded shared cache under random pressure: the bound
+    /// holds, evictions are observed (and counted consistently), and the
+    /// results stay bit-identical to the uncached reference — eviction
+    /// can cost recomputation, never correctness.
+    #[test]
+    fn bounded_cache_respects_bound_and_never_changes_results(
+        h1 in 0.3..1.5f64,
+        h2 in 0.3..1.5f64,
+        h3 in 0.3..1.5f64,
+        h4 in 0.3..1.5f64,
+        workers in 1usize..5,
+        cap_entries in 24usize..96,
+    ) {
+        let params: Vec<f64> = [h1, h2, h3, h4].iter().map(|h| h * 1e-6).collect();
+        let cache = Arc::new(TemplateCache::with_max_bytes(cap_entries * ENTRY_BYTES));
+        let bounded = BatchExtractor::new(Extractor::new())
+            .workers(workers)
+            .shared_cache(Arc::clone(&cache))
+            .extract_family(&params, crossing)
+            .expect("bounded batch");
+        let reference = BatchExtractor::new(Extractor::new())
+            .workers(1)
+            .cache(false)
+            .extract_family(&params, crossing)
+            .expect("reference batch");
+        for (a, b) in bounded.points().iter().zip(reference.points()) {
+            prop_assert_eq!(
+                a.extraction.capacitance().matrix().as_slice(),
+                b.extraction.capacitance().matrix().as_slice(),
+                "workers={} cap={}", workers, cap_entries
+            );
+        }
+        let bound = cache.max_bytes().expect("bounded cache");
+        prop_assert!(cache.resident_bytes() <= bound,
+            "resident {} over bound {}", cache.resident_bytes(), bound);
+        // Four crossing-wire jobs need well over 96 distinct pair
+        // integrals: a bound this small must evict.
+        prop_assert!(bounded.report().cache.evictions > 0,
+            "no evictions at cap {} entries", cap_entries);
+        prop_assert_eq!(cache.lifetime().evictions, bounded.report().cache.evictions);
     }
 }

@@ -1,0 +1,270 @@
+//! End-to-end tests of the `bemcapd` daemon: concurrent clients get
+//! results **bit-identical** to in-process extraction (cache cold or
+//! warm, any `BEMCAP_POOL`), malformed input of every kind gets a
+//! structured JSON error instead of a panic or a dropped connection, the
+//! memory-bounded cache evicts under pressure without changing a bit,
+//! and shutdown is clean.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use bemcap::prelude::*;
+use bemcap_serve::{ServeError, ServerHandle};
+
+/// The golden-fixture geometries of `tests/golden/` (same constructors
+/// as `tests/golden_reference.rs`).
+fn golden_geometries() -> Vec<(&'static str, Geometry)> {
+    use structures::{BusParams, CrossingParams};
+    vec![
+        ("plate_pair", structures::parallel_plates(1.0e-6, 1.0e-6, 0.2e-6)),
+        ("crossing_wires", structures::crossing_wires(CrossingParams::default())),
+        ("bus3", structures::bus_crossing(2, 1, BusParams::default())),
+    ]
+}
+
+fn spawn_server(cfg: ServerConfig) -> ServerHandle {
+    Server::bind(cfg).expect("bind loopback").spawn().expect("spawn daemon")
+}
+
+fn default_server() -> ServerHandle {
+    spawn_server(ServerConfig { addr: "127.0.0.1:0".into(), ..ServerConfig::default() })
+}
+
+fn assert_bit_identical(reply: &bemcap_serve::ExtractReply, local: &Extraction, context: &str) {
+    let c = local.capacitance();
+    assert_eq!(reply.dim(), c.dim(), "{context}: dimension");
+    assert_eq!(reply.names, c.names(), "{context}: names");
+    for i in 0..c.dim() {
+        for j in 0..c.dim() {
+            assert_eq!(
+                reply.get(i, j).to_bits(),
+                c.get(i, j).to_bits(),
+                "{context}: C({i},{j}) {} vs {}",
+                reply.get(i, j),
+                c.get(i, j)
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_clients_bit_identical_to_in_process_cold_and_warm() {
+    let server = default_server();
+    let addr = server.addr();
+    const CLIENTS: usize = 4;
+    let geometries = Arc::new(golden_geometries());
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            let geometries = Arc::clone(&geometries);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client.ping().expect("ping");
+                // Two passes: the first may be cold, the second hits a
+                // cache warmed by up to CLIENTS threads — results must be
+                // bit-identical either way.
+                for pass in 0..2 {
+                    for (name, geo) in geometries.iter() {
+                        let reply = client
+                            .extract(geo, &ExtractOptions::default())
+                            .expect("daemon extraction");
+                        let local = Extractor::new().extract(geo).expect("local extraction");
+                        assert_bit_identical(
+                            &reply,
+                            &local,
+                            &format!("client {t} pass {pass} {name}"),
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let mut client = Client::connect(addr).expect("connect for stats");
+    let stats = client.stats().expect("stats");
+    assert!(stats.cache.hits > 0, "warm passes must hit the shared cache");
+    assert!(stats.cache_entries > 0);
+    // 4 clients × 2 passes × 3 extracts, + pings + this stats request.
+    assert!(stats.requests >= (CLIENTS * 2 * 3) as u64);
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean daemon exit");
+}
+
+#[test]
+fn non_default_methods_run_through_the_daemon() {
+    let server = default_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let geo = structures::crossing_wires(structures::CrossingParams::default());
+    let options =
+        ExtractOptions { method: Method::PwcDense, mesh_divisions: Some(4), ..Default::default() };
+    let reply = client.extract(&geo, &options).expect("pwc-dense over the wire");
+    let local =
+        Extractor::new().method(Method::PwcDense).mesh_divisions(4).extract(&geo).expect("local");
+    assert_eq!(reply.method, "pwc-dense");
+    assert_bit_identical(&reply, &local, "pwc-dense");
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean daemon exit");
+}
+
+#[test]
+fn warm_requests_are_pure_cache_hits() {
+    // One worker per request makes the second identical request's
+    // hit-set deterministic: everything is resident, zero misses.
+    let server = spawn_server(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let geo = structures::crossing_wires(structures::CrossingParams::default());
+    let cold = client.extract(&geo, &ExtractOptions::default()).expect("cold");
+    let warm = client.extract(&geo, &ExtractOptions::default()).expect("warm");
+    assert!(cold.cache.misses > 0, "first request computes");
+    assert_eq!(warm.cache.misses, 0, "second identical request is all hits: {:?}", warm.cache);
+    assert_eq!(warm.cache.hits, cold.cache.lookups());
+    for i in 0..warm.dim() {
+        for j in 0..warm.dim() {
+            assert_eq!(warm.get(i, j).to_bits(), cold.get(i, j).to_bits());
+        }
+    }
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean daemon exit");
+}
+
+#[test]
+fn bounded_cache_evicts_under_pressure_without_changing_results() {
+    use bemcap_core::cache::ENTRY_BYTES;
+    // ~48 entries of budget vs a family needing far more.
+    let server = spawn_server(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_max_bytes: Some(48 * ENTRY_BYTES),
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let mut evictions = 0;
+    for i in 0..4 {
+        let sep = (4 + i) as f64 * 0.2e-6;
+        let geo = structures::crossing_wires(structures::CrossingParams {
+            separation: sep,
+            ..Default::default()
+        });
+        let reply = client.extract(&geo, &ExtractOptions::default()).expect("extract");
+        let local = Extractor::new().extract(&geo).expect("local");
+        assert_bit_identical(&reply, &local, &format!("bounded sep={sep:e}"));
+        evictions += reply.cache.evictions;
+    }
+    let stats = client.stats().expect("stats");
+    assert!(evictions > 0, "a 48-entry bound must evict on this family");
+    assert_eq!(stats.cache.evictions, evictions, "daemon counters match per-request sums");
+    let bound = stats.cache_max_bytes.expect("bounded cache");
+    assert!(stats.cache_resident_bytes <= bound, "{} > {bound}", stats.cache_resident_bytes);
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean daemon exit");
+}
+
+#[test]
+fn malformed_requests_get_structured_errors_and_the_connection_survives() {
+    let server = spawn_server(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        max_frame_bytes: 64 << 10,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Invalid JSON.
+    let v = client.send_raw("this is not json").expect("response");
+    assert_eq!(v["ok"].as_bool(), Some(false));
+    assert_eq!(v["error"]["code"].as_str(), Some("parse"));
+
+    // Valid JSON, invalid request: the recoverable id is still echoed.
+    let v = client.send_raw(r#"{"op":"selfdestruct","id":5}"#).expect("response");
+    assert_eq!(v["error"]["code"].as_str(), Some("bad-request"));
+    assert_eq!(v["id"].as_u64(), Some(5));
+
+    // Bad geometry (also checks id echo on errors).
+    let v = client
+        .send_raw(r#"{"op":"extract","id":77,"geometry":"box 0 0 0 1 1 1\n"}"#)
+        .expect("response");
+    assert_eq!(v["error"]["code"].as_str(), Some("geometry"));
+    assert_eq!(v["id"].as_u64(), Some(77));
+    assert!(v["error"]["message"].as_str().unwrap().contains("line 1"));
+
+    // Degenerate box: caught by the geometry layer, not a panic.
+    let v = client
+        .send_raw(r#"{"op":"extract","geometry":"conductor a\nbox 0 0 0 0 1 1\n"}"#)
+        .expect("response");
+    assert_eq!(v["error"]["code"].as_str(), Some("geometry"));
+
+    // Oversized frame: drained and answered, not buffered or dropped.
+    let big = format!(r#"{{"op":"extract","geometry":"{}"}}"#, "x".repeat(80 << 10));
+    let v = client.send_raw(&big).expect("response");
+    assert_eq!(v["error"]["code"].as_str(), Some("oversized"));
+
+    // The same connection still works after every error.
+    client.ping().expect("connection survives malformed traffic");
+
+    // Remote errors surface as ServeError::Remote through typed calls.
+    match client.extract_text("nonsense\n", &ExtractOptions::default()) {
+        Err(ServeError::Remote { code, .. }) => assert_eq!(code, "geometry"),
+        other => panic!("expected remote geometry error, got {other:?}"),
+    }
+    client.ping().expect("still alive");
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean daemon exit");
+}
+
+#[test]
+fn bad_utf8_gets_a_structured_error() {
+    let server = default_server();
+    let mut stream = TcpStream::connect(server.addr()).expect("connect raw");
+    stream.write_all(b"\xff\xfe{\"op\":\"ping\"}\n").expect("write bad utf8");
+    stream.flush().expect("flush");
+    let mut line = String::new();
+    BufReader::new(stream.try_clone().expect("clone")).read_line(&mut line).expect("read");
+    assert!(line.contains("\"ok\":false") && line.contains("utf8"), "got: {line}");
+    // Same raw connection keeps working.
+    stream.write_all(b"{\"op\":\"ping\"}\n").expect("write ping");
+    let mut line2 = String::new();
+    BufReader::new(stream).read_line(&mut line2).expect("read");
+    assert!(line2.contains("\"pong\":true"), "got: {line2}");
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean daemon exit");
+}
+
+#[test]
+fn truncated_frames_do_not_kill_the_daemon() {
+    let server = default_server();
+    {
+        // A frame cut off mid-line, then the peer vanishes.
+        let mut stream = TcpStream::connect(server.addr()).expect("connect raw");
+        stream.write_all(b"{\"op\":\"ext").expect("write partial");
+        stream.flush().expect("flush");
+    } // dropped: connection closed with an incomplete frame
+    {
+        // An empty connection (open, close, no bytes).
+        let _ = TcpStream::connect(server.addr()).expect("connect raw");
+    }
+    let mut client = Client::connect(server.addr()).expect("connect after truncation");
+    client.ping().expect("daemon alive after truncated frames");
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean daemon exit");
+}
+
+#[test]
+fn blank_lines_are_ignored() {
+    let server = default_server();
+    let mut stream = TcpStream::connect(server.addr()).expect("connect raw");
+    stream.write_all(b"\n\r\n{\"op\":\"ping\"}\n").expect("write");
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).expect("read");
+    assert!(line.contains("\"pong\":true"), "got: {line}");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean daemon exit");
+}

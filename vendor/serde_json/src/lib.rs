@@ -2,11 +2,13 @@
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors a minimal stand-in (see `vendor/README.md`). It covers exactly
-//! the surface the `bemcap-bench` harness uses: a [`Value`] tree built
-//! with the [`json!`] macro from Rust primitives, indexing by key or
-//! position, [`Value::as_f64`], and [`to_string_pretty`] /
-//! [`to_string`] emitting standard JSON. There is no deserializer and no
-//! serde integration: values are built programmatically, not derived.
+//! the surface the workspace uses: a [`Value`] tree built with the
+//! [`json!`] macro from Rust primitives, indexing by key or position, the
+//! `as_*` accessors, [`to_string_pretty`] / [`to_string`] emitting
+//! standard JSON, and [`from_str`] parsing standard JSON back into a
+//! [`Value`] tree (the `bemcap-serve` wire protocol decoder). There is no
+//! serde integration: values are built and inspected programmatically,
+//! not derived.
 
 use std::fmt;
 use std::ops::Index;
@@ -48,6 +50,38 @@ impl Value {
             Value::String(s) => Some(s),
             _ => None,
         }
+    }
+
+    /// Returns the boolean if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the number as `u64` if this is a non-negative integral
+    /// [`Value::Number`] (the stub stores all numbers as `f64`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns the items if this is a [`Value::Array`].
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
     }
 
     /// Looks up `key` in an object; `None` for missing keys or non-objects.
@@ -142,15 +176,23 @@ impl<T: Into<Value>> From<Option<T>> for Value {
     }
 }
 
-/// Error type of the serializers. The stub serializer is infallible, so
-/// this is never constructed; it exists so call sites match the real
-/// crate's `Result` signatures.
+/// Error type of the serializer and deserializer. The stub serializer is
+/// infallible; [`from_str`] constructs this with a byte offset and a
+/// description of what went wrong.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn at(offset: usize, msg: impl Into<String>) -> Error {
+        Error { msg: format!("{} at byte {offset}", msg.into()) }
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("serde_json stub serialization error")
+        write!(f, "JSON error: {}", self.msg)
     }
 }
 
@@ -288,6 +330,274 @@ pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Maximum nesting depth [`from_str`] accepts. Deeper documents are
+/// rejected with an error instead of recursing toward a stack overflow —
+/// the parser faces network input in `bemcap-serve`.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
+/// Parses standard JSON text into a [`Value`] tree.
+///
+/// Numbers are stored as `f64` (like [`Value::Number`]); integers beyond
+/// 2^53 lose precision, matching the stub's number model. Objects keep
+/// duplicate keys in input order; lookups return the first occurrence.
+///
+/// # Errors
+///
+/// Returns an [`Error`] carrying a byte offset for malformed documents,
+/// trailing content after the top-level value, or nesting deeper than
+/// [`MAX_PARSE_DEPTH`].
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::at(p.pos, "trailing content after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::at(self.pos, format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::at(self.pos, format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(Error::at(self.pos, "nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(Error::at(self.pos, format!("unexpected byte 0x{other:02x}"))),
+            None => Err(Error::at(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::at(self.pos, "expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            entries.push((key, self.value(depth + 1)?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::at(self.pos, "expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            let b = self.peek().ok_or_else(|| Error::at(start, "unterminated string"))?;
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc =
+                        self.peek().ok_or_else(|| Error::at(self.pos, "unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        other => {
+                            return Err(Error::at(
+                                start,
+                                format!("invalid escape '\\{}'", other as char),
+                            ));
+                        }
+                    }
+                }
+                0x00..=0x1f => {
+                    return Err(Error::at(start, "unescaped control character in string"));
+                }
+                _ => {
+                    // One UTF-8 scalar: the input is a &str, so slicing at
+                    // the next char boundary is safe.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::at(start, "invalid UTF-8 in string"))?;
+                    let c = s.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, Error> {
+        let u1 = self.hex4()?;
+        // Surrogate pair: a high surrogate must be followed by \uXXXX low.
+        if (0xd800..0xdc00).contains(&u1) {
+            let start = self.pos;
+            if self.peek() == Some(b'\\') {
+                self.pos += 1;
+                if self.peek() == Some(b'u') {
+                    self.pos += 1;
+                    let u2 = self.hex4()?;
+                    if (0xdc00..0xe000).contains(&u2) {
+                        let c = 0x10000 + ((u1 - 0xd800) << 10) + (u2 - 0xdc00);
+                        return char::from_u32(c)
+                            .ok_or_else(|| Error::at(start, "invalid surrogate pair"));
+                    }
+                }
+            }
+            return Err(Error::at(start, "lone surrogate in \\u escape"));
+        }
+        if (0xdc00..0xe000).contains(&u1) {
+            return Err(Error::at(self.pos, "lone low surrogate in \\u escape"));
+        }
+        char::from_u32(u1).ok_or_else(|| Error::at(self.pos, "invalid \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let start = self.pos;
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.peek().ok_or_else(|| Error::at(start, "truncated \\u escape"))?;
+            let d = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return Err(Error::at(self.pos, "non-hex digit in \\u escape")),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: one zero, or a nonzero digit run.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(Error::at(start, "invalid number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(Error::at(self.pos, "digit required after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(Error::at(self.pos, "digit required in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number chars are ASCII");
+        let n = text.parse::<f64>().map_err(|e| Error::at(start, format!("bad number: {e}")))?;
+        Ok(Value::Number(n))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,5 +652,105 @@ mod tests {
         let err = std::panic::catch_unwind(|| v["b"].clone()).unwrap_err();
         let msg = err.downcast_ref::<String>().unwrap();
         assert!(msg.contains("no key"));
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("false").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("42").unwrap(), Value::Number(42.0));
+        assert_eq!(from_str("-0.5e3").unwrap(), Value::Number(-500.0));
+        assert_eq!(from_str(r#""hi""#).unwrap(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn parses_structures() {
+        let v = from_str(r#"{ "a": [1, 2.5, null], "b": { "c": "x" } }"#).unwrap();
+        assert_eq!(v["a"][1].as_f64(), Some(2.5));
+        assert!(v["a"][2].is_null());
+        assert_eq!(v["b"]["c"].as_str(), Some("x"));
+        assert_eq!(from_str("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(from_str("{}").unwrap(), Value::Object(vec![]));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = json!({ "s": "a\"b\\c\nd\te\u{1f600}" });
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str(&s).unwrap(), v);
+        // Explicit \u escapes, including a surrogate pair.
+        let v = from_str(r#""A😀é""#).unwrap();
+        assert_eq!(v.as_str(), Some("A\u{1f600}\u{e9}"));
+    }
+
+    #[test]
+    fn serializer_output_round_trips() {
+        let v = json!({
+            "method": "pwc-fmm",
+            "n": 10usize,
+            "ok": true,
+            "rows": vec![1.0, 2.5e-16, -3.25],
+            "none": Value::Null,
+        });
+        assert_eq!(from_str(&to_string(&v).unwrap()).unwrap(), v);
+        assert_eq!(from_str(&to_string_pretty(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn f64_shortest_formatting_round_trips_bit_exactly() {
+        // The wire protocol relies on this: `{}`-formatted f64s parse back
+        // to the identical bits.
+        for &x in &[2.8494929665218994e-16, -1.4492742357337468e-16, 1.0 / 3.0, f64::MIN_POSITIVE] {
+            let v = from_str(&to_string(&json!({ "x": x })).unwrap()).unwrap();
+            assert_eq!(v["x"].as_f64().unwrap().to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_structured() {
+        for bad in [
+            "",
+            "tru",
+            "{",
+            "[1,",
+            r#"{"a"}"#,
+            r#"{"a":}"#,
+            "[1 2]",
+            "01",
+            "1.",
+            "1e",
+            r#""unterminated"#,
+            "\"bad \u{7}\"",
+            r#""\q""#,
+            r#""\ud800""#,
+            "nullx",
+            "{}{}",
+            "\u{feff}{}",
+        ] {
+            let err = from_str(bad);
+            assert!(err.is_err(), "expected parse error for {bad:?}");
+            let msg = format!("{}", err.unwrap_err());
+            assert!(msg.contains("byte"), "error carries an offset: {msg}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let deep = "[".repeat(MAX_PARSE_DEPTH + 2) + &"]".repeat(MAX_PARSE_DEPTH + 2);
+        assert!(from_str(&deep).is_err());
+        let ok = "[".repeat(64) + &"]".repeat(64);
+        assert!(from_str(&ok).is_ok());
+    }
+
+    #[test]
+    fn accessors() {
+        let v = from_str(r#"{"b": true, "n": 7, "neg": -1, "frac": 1.5, "a": [1]}"#).unwrap();
+        assert_eq!(v["b"].as_bool(), Some(true));
+        assert_eq!(v["n"].as_u64(), Some(7));
+        assert_eq!(v["neg"].as_u64(), None);
+        assert_eq!(v["frac"].as_u64(), None);
+        assert_eq!(v["a"].as_array().map(<[Value]>::len), Some(1));
+        assert_eq!(v["b"].as_array(), None);
     }
 }
