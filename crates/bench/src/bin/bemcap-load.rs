@@ -7,13 +7,22 @@
 //! so the cold→warm latency drop is the serving-side measurement of the
 //! paper's reusable-setup economics.
 //!
+//! With `--overload`, the generator switches to an open-loop overload
+//! scenario instead: more concurrent clients than the daemon has queue
+//! slots fire identical-configuration requests back to back, and the
+//! run reports the `busy` rejection fraction, the latency percentiles
+//! of the admitted requests, and — in self-contained mode — the
+//! throughput effect of request coalescing (the same storm against a
+//! `--coalesce 1` daemon and against the configured window).
+//!
 //! Self-contained by default (spawns an in-process daemon on a loopback
 //! port); point it at a running daemon with `--addr`:
 //!
 //! ```text
 //! cargo run --release -p bemcap-bench --bin bemcap-load -- \
 //!     [--addr HOST:PORT] [--clients N] [--passes N] [--workers N]
-//!     [--cache-mb N] [--shutdown]
+//!     [--cache-mb N] [--queue N] [--coalesce N]
+//!     [--overload] [--requests N] [--shutdown]
 //! ```
 
 use std::process::ExitCode;
@@ -22,10 +31,11 @@ use std::time::Instant;
 use bemcap_bench::fmt_seconds;
 use bemcap_geom::structures::{self, BusParams, CrossingParams};
 use bemcap_geom::Geometry;
-use bemcap_serve::{Client, ExtractOptions, Server, ServerConfig};
+use bemcap_serve::{Client, ExtractOptions, ServeError, Server, ServerConfig};
 
 const USAGE: &str = "usage: bemcap-load [--addr HOST:PORT] [--clients N] [--passes N] \
-                     [--workers N] [--cache-mb N] [--shutdown]";
+                     [--workers N] [--cache-mb N] [--queue N] [--coalesce N] \
+                     [--overload] [--requests N] [--shutdown]";
 
 struct Args {
     addr: Option<String>,
@@ -33,12 +43,27 @@ struct Args {
     passes: usize,
     workers: usize,
     cache_mb: usize,
+    queue: usize,
+    coalesce: usize,
+    overload: bool,
+    requests: usize,
     shutdown: bool,
 }
 
 impl Default for Args {
     fn default() -> Args {
-        Args { addr: None, clients: 4, passes: 2, workers: 1, cache_mb: 64, shutdown: false }
+        Args {
+            addr: None,
+            clients: 4,
+            passes: 2,
+            workers: 1,
+            cache_mb: 64,
+            queue: 256,
+            coalesce: 16,
+            overload: false,
+            requests: 40,
+            shutdown: false,
+        }
     }
 }
 
@@ -60,6 +85,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--passes" => args.passes = positive("--passes", value("--passes")?)?,
             "--workers" => args.workers = positive("--workers", value("--workers")?)?,
             "--cache-mb" => args.cache_mb = positive("--cache-mb", value("--cache-mb")?)?,
+            "--queue" => args.queue = positive("--queue", value("--queue")?)?,
+            "--coalesce" => args.coalesce = positive("--coalesce", value("--coalesce")?)?,
+            "--overload" => args.overload = true,
+            "--requests" => args.requests = positive("--requests", value("--requests")?)?,
             "--shutdown" => args.shutdown = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
@@ -151,6 +180,174 @@ fn run_pass(
     Ok((total, wall))
 }
 
+/// Spawns the in-process daemon with the run's settings and the given
+/// coalescing window.
+fn spawn_local_daemon(args: &Args, coalesce: usize) -> Result<bemcap_serve::ServerHandle, String> {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_max_bytes: Some(args.cache_mb << 20),
+        workers: args.workers,
+        queue_depth: args.queue,
+        coalesce_limit: coalesce,
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("cannot start in-process daemon: {e}"))?;
+    server.spawn().map_err(|e| format!("cannot spawn in-process daemon: {e}"))
+}
+
+/// Outcome of one open-loop overload storm.
+#[derive(Default)]
+struct OverloadStats {
+    /// Latencies of admitted (ok) requests, seconds.
+    ok_latencies: Vec<f64>,
+    /// Structured `busy` rejections.
+    busy: usize,
+    /// Admitted requests the daemon coalesced into a shared micro-batch.
+    coalesced: usize,
+    /// Sum of admitted requests' daemon-side queue wait.
+    queue_seconds: f64,
+    /// Wall seconds of the whole storm.
+    wall: f64,
+}
+
+impl OverloadStats {
+    fn ok(&self) -> usize {
+        self.ok_latencies.len()
+    }
+
+    fn total(&self) -> usize {
+        self.ok() + self.busy
+    }
+
+    fn ok_per_second(&self) -> f64 {
+        if self.wall == 0.0 {
+            return 0.0;
+        }
+        self.ok() as f64 / self.wall
+    }
+}
+
+/// Fires `requests` back-to-back extract requests from each of `clients`
+/// concurrent connections — no pacing, no retry — and tallies admitted
+/// vs `busy` outcomes. Every non-`busy` error is fatal: under overload
+/// the daemon must answer each request with a result or a structured
+/// rejection, never hang or drop.
+fn run_overload(addr: &str, clients: usize, requests: usize) -> Result<OverloadStats, String> {
+    let geo = structures::crossing_wires(CrossingParams::default());
+    let start = Instant::now();
+    let results: Vec<Result<OverloadStats, String>> = std::thread::scope(|scope| {
+        let geo = &geo;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || -> Result<OverloadStats, String> {
+                    let mut client =
+                        Client::connect(addr).map_err(|e| format!("client {c}: connect: {e}"))?;
+                    let mut stats = OverloadStats::default();
+                    for k in 0..requests {
+                        let t = Instant::now();
+                        match client.extract(geo, &ExtractOptions::default()) {
+                            Ok(reply) => {
+                                stats.ok_latencies.push(t.elapsed().as_secs_f64());
+                                stats.coalesced += usize::from(reply.coalesced);
+                                stats.queue_seconds += reply.queue_seconds;
+                            }
+                            Err(ServeError::Remote { code, .. }) if code == "busy" => {
+                                stats.busy += 1;
+                            }
+                            Err(e) => return Err(format!("client {c} request {k}: {e}")),
+                        }
+                    }
+                    Ok(stats)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+    let mut total = OverloadStats { wall: start.elapsed().as_secs_f64(), ..Default::default() };
+    for r in results {
+        let s = r?;
+        total.ok_latencies.extend(s.ok_latencies);
+        total.busy += s.busy;
+        total.coalesced += s.coalesced;
+        total.queue_seconds += s.queue_seconds;
+    }
+    Ok(total)
+}
+
+fn print_overload(label: &str, stats: &OverloadStats) {
+    let mut sorted = stats.ok_latencies.clone();
+    sorted.sort_by(f64::total_cmp);
+    let (p50, p99) = if sorted.is_empty() {
+        (0.0, 0.0)
+    } else {
+        (percentile(&sorted, 0.50), percentile(&sorted, 0.99))
+    };
+    println!(
+        "{label}: {} ok ({:.1} req/s), busy rejections: {} ({:.1} % of {}), \
+         p50 {} p99 {}, coalesced {:.1} %, mean queue wait {}",
+        stats.ok(),
+        stats.ok_per_second(),
+        stats.busy,
+        100.0 * stats.busy as f64 / stats.total().max(1) as f64,
+        stats.total(),
+        fmt_seconds(p50),
+        fmt_seconds(p99),
+        100.0 * stats.coalesced as f64 / stats.ok().max(1) as f64,
+        fmt_seconds(stats.queue_seconds / stats.ok().max(1) as f64),
+    );
+}
+
+/// The `--overload` scenario: an open-loop storm against a small queue.
+/// Self-contained mode runs it twice — coalescing off, then the
+/// configured window — so the coalescing effect is a printed number.
+fn overload_main(args: &Args) -> Result<(), String> {
+    match &args.addr {
+        Some(addr) => println!(
+            "bemcap-load: overload storm: {} clients x {} requests against {addr} \
+             (daemon keeps its own queue/worker settings)",
+            args.clients, args.requests
+        ),
+        None => println!(
+            "bemcap-load: overload storm: {} clients x {} requests (workers={}, queue={})",
+            args.clients, args.requests, args.workers, args.queue
+        ),
+    }
+    if let Some(addr) = &args.addr {
+        let stats = run_overload(addr, args.clients, args.requests)?;
+        print_overload("overload", &stats);
+        if args.shutdown {
+            let mut client = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+            client.shutdown().map_err(|e| e.to_string())?;
+        }
+        return Ok(());
+    }
+    let mut rates = Vec::new();
+    for (label, coalesce) in [("coalescing off (window 1)", 1), ("coalescing on", args.coalesce)] {
+        let handle = spawn_local_daemon(args, coalesce)?;
+        let addr = handle.addr().to_string();
+        let stats = run_overload(&addr, args.clients, args.requests)?;
+        print_overload(label, &stats);
+        let mut client = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+        let daemon = client.stats().map_err(|e| e.to_string())?;
+        println!(
+            "  daemon: {:.2} jobs/micro-batch, executor {}",
+            daemon.exec.coalescing_ratio(),
+            daemon.exec
+        );
+        client.shutdown().map_err(|e| e.to_string())?;
+        handle.join().map_err(|e| format!("daemon exit: {e}"))?;
+        rates.push(stats.ok_per_second());
+    }
+    if rates[0] > 0.0 {
+        println!(
+            "coalescing effect: {:.2}x admitted throughput (window {} vs off)",
+            rates[1] / rates[0],
+            args.coalesce
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -160,44 +357,49 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.overload {
+        return match overload_main(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("bemcap-load: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     // Self-contained mode: spawn the daemon in-process on a free port.
     let (addr, local_daemon) = match &args.addr {
         Some(addr) => {
-            // --workers / --cache-mb configure the in-process daemon
-            // only; an external daemon keeps its own settings.
+            // --workers / --cache-mb / --queue / --coalesce configure the
+            // in-process daemon only; an external daemon keeps its own
+            // settings.
             let defaults = Args::default();
-            if args.workers != defaults.workers || args.cache_mb != defaults.cache_mb {
+            if args.workers != defaults.workers
+                || args.cache_mb != defaults.cache_mb
+                || args.queue != defaults.queue
+                || args.coalesce != defaults.coalesce
+            {
                 eprintln!(
-                    "bemcap-load: note: --workers/--cache-mb are ignored with --addr \
-                     (the external daemon keeps its own configuration)"
+                    "bemcap-load: note: --workers/--cache-mb/--queue/--coalesce are ignored \
+                     with --addr (the external daemon keeps its own configuration)"
                 );
             }
             (addr.clone(), None)
         }
         None => {
-            let server = match Server::bind(ServerConfig {
-                addr: "127.0.0.1:0".into(),
-                cache_max_bytes: Some(args.cache_mb << 20),
-                workers: args.workers,
-                ..ServerConfig::default()
-            }) {
-                Ok(server) => server,
-                Err(e) => {
-                    eprintln!("bemcap-load: cannot start in-process daemon: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let handle = match server.spawn() {
+            let handle = match spawn_local_daemon(&args, args.coalesce) {
                 Ok(handle) => handle,
                 Err(e) => {
-                    eprintln!("bemcap-load: cannot spawn in-process daemon: {e}");
+                    eprintln!("bemcap-load: {e}");
                     return ExitCode::FAILURE;
                 }
             };
             println!(
-                "bemcap-load: in-process daemon on {} (workers={}, cache={} MiB)",
+                "bemcap-load: in-process daemon on {} (workers={}, queue={}, coalesce={}, \
+                 cache={} MiB)",
                 handle.addr(),
                 args.workers,
+                args.queue,
+                args.coalesce,
                 args.cache_mb
             );
             (handle.addr().to_string(), Some(handle))
@@ -262,6 +464,10 @@ fn main() -> ExitCode {
             stats.cache,
             stats.cache_entries,
             stats.cache_resident_bytes >> 10,
+        );
+        println!(
+            "daemon executor: {} (queue depth {}, window {})",
+            stats.exec, stats.queue_depth, stats.coalesce_limit
         );
         if stop {
             client.shutdown().map_err(|e| e.to_string())?;

@@ -21,6 +21,16 @@ pub enum CoreError {
     Pfft(PfftError),
     /// The geometry has no conductors.
     EmptyGeometry,
+    /// The execution core refused a submission because its admission
+    /// queue is full — the structured backpressure signal of
+    /// [`crate::exec::Executor`]. Retry later, or submit to an executor
+    /// with a deeper queue; nothing was executed.
+    Busy {
+        /// Jobs already waiting in the executor queue.
+        queued: usize,
+        /// The executor's configured queue depth.
+        depth: usize,
+    },
     /// A batch job failed. Carries the failing job's index in the input
     /// order, the swept parameter value when the job came from a
     /// parameterized family ([`crate::sweep::sweep`] /
@@ -44,6 +54,9 @@ impl fmt::Display for CoreError {
             CoreError::Fmm(e) => write!(f, "multipole solver failed: {e}"),
             CoreError::Pfft(e) => write!(f, "pfft solver failed: {e}"),
             CoreError::EmptyGeometry => write!(f, "geometry has no conductors"),
+            CoreError::Busy { queued, depth } => {
+                write!(f, "executor busy: {queued} jobs waiting at queue depth {depth}")
+            }
             CoreError::BatchJob { index, parameter: Some(p), source } => {
                 write!(f, "batch job {index} (parameter {p:e}) failed: {source}")
             }
@@ -61,7 +74,7 @@ impl Error for CoreError {
             CoreError::Linalg(e) => Some(e),
             CoreError::Fmm(e) => Some(e),
             CoreError::Pfft(e) => Some(e),
-            CoreError::EmptyGeometry => None,
+            CoreError::EmptyGeometry | CoreError::Busy { .. } => None,
             CoreError::BatchJob { source, .. } => Some(source.as_ref()),
         }
     }
@@ -103,6 +116,14 @@ mod tests {
         let e: CoreError = LinalgError::NotFinite.into();
         assert!(!format!("{e}").is_empty());
         assert!(Error::source(&CoreError::EmptyGeometry).is_none());
+    }
+
+    #[test]
+    fn busy_reports_queue_state() {
+        let e = CoreError::Busy { queued: 7, depth: 8 };
+        let s = format!("{e}");
+        assert!(s.contains("busy") && s.contains('7') && s.contains('8'), "{s}");
+        assert!(Error::source(&e).is_none());
     }
 
     #[test]

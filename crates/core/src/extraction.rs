@@ -148,6 +148,42 @@ impl Extractor {
         self.parallelism == Parallelism::Sequential
     }
 
+    /// Bit-exact identity of the full solver configuration. Two
+    /// extractors with equal bits produce bit-identical results on the
+    /// same geometry, which is what licenses the executor to coalesce
+    /// their jobs into one shared micro-batch (`f64` fields compare by
+    /// bit pattern, so even `-0.0` vs `0.0` keeps configs apart).
+    pub(crate) fn config_bits(&self) -> [u64; 14] {
+        let g = &self.galerkin_cfg;
+        let ic = &self.instantiate_cfg;
+        let parallelism = match self.parallelism {
+            Parallelism::Sequential => 0,
+            Parallelism::Threads(n) => (1 << 32) | n as u64,
+            Parallelism::MessagePassing(n) => (2 << 32) | n as u64,
+        };
+        [
+            match self.method {
+                Method::InstantiableBasis => 0,
+                Method::PwcDense => 1,
+                Method::PwcFmm => 2,
+                Method::PwcPfft => 3,
+            },
+            parallelism,
+            u64::from(self.accelerated),
+            self.mesh_divisions as u64,
+            ic.laws.width_coeff.to_bits(),
+            ic.laws.ext_coeff.to_bits(),
+            ic.max_segment_aspect.to_bits(),
+            ic.max_gap_ratio.to_bits(),
+            g.far_ratio.to_bits(),
+            g.mid_ratio.to_bits(),
+            g.near_order as u64,
+            g.mid_order as u64,
+            g.touch_subdiv as u64,
+            g.shape_order as u64,
+        ]
+    }
+
     /// Runs the extraction.
     ///
     /// # Errors

@@ -13,7 +13,12 @@
 //!
 //! For families of similar structures (sweeps, multi-net corners), the
 //! [`batch`] module schedules many extractions across a worker pool and
-//! shares pair integrals between them — see [`BatchExtractor`].
+//! shares pair integrals between them — see [`BatchExtractor`]. Batch,
+//! [`sweep`], and the `bemcap-serve` daemon all execute on the same
+//! shared execution core ([`exec::Executor`]): a bounded work queue with
+//! admission control ([`CoreError::Busy`] backpressure) and request
+//! coalescing (same-configuration jobs share a micro-batch and its
+//! Galerkin engine).
 //!
 //! ```
 //! use bemcap_core::{Extractor, Method};
@@ -31,6 +36,7 @@ pub mod assembly;
 pub mod batch;
 pub mod cache;
 pub mod error;
+pub mod exec;
 pub mod extraction;
 pub mod report;
 pub mod solver;
@@ -39,7 +45,8 @@ pub mod sweep;
 pub use batch::{BatchExtractor, BatchJob, BatchPoint, BatchResult};
 pub use cache::TemplateCache;
 pub use error::CoreError;
+pub use exec::{ExecConfig, Executor, JobOutcome, Submission, Ticket};
 pub use extraction::{CapacitanceMatrix, Extraction, Extractor, Method};
-pub use report::{BatchReport, CacheStats, ExtractionReport, JobReport};
+pub use report::{BatchReport, CacheStats, ExecStats, ExtractionReport, JobReport};
 
 pub use bemcap_geom::Geometry;

@@ -95,6 +95,78 @@ impl fmt::Display for CacheStats {
     }
 }
 
+/// Execution-core counters: how submissions moved through the
+/// [`crate::exec::Executor`]'s admission queue and how aggressively
+/// concurrent work was coalesced into shared micro-batches.
+///
+/// Surfaces in three places, mirroring [`CacheStats`]: per batch run in
+/// [`BatchReport::exec`], per daemon lifetime through the `bemcap-serve`
+/// `stats` op, and per submission in `bemcap_core::exec::Submission`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Submissions admitted into the queue.
+    pub submitted: usize,
+    /// Submissions refused with [`crate::error::CoreError::Busy`] because
+    /// the queue was at its configured depth.
+    pub rejected: usize,
+    /// Admitted submissions that joined an already-waiting micro-batch
+    /// instead of opening a new one (request coalescing).
+    pub coalesced: usize,
+    /// Micro-batches executed (each builds one Galerkin engine).
+    pub micro_batches: usize,
+    /// Jobs executed across all micro-batches.
+    pub jobs: usize,
+    /// Total seconds submissions spent waiting in the queue before their
+    /// micro-batch started.
+    pub queue_seconds: f64,
+}
+
+impl ExecStats {
+    /// Mean jobs per executed micro-batch — 1.0 means no coalescing
+    /// happened, higher means engine and locality costs were amortized
+    /// across that many jobs (0 when idle).
+    pub fn coalescing_ratio(&self) -> f64 {
+        if self.micro_batches == 0 {
+            return 0.0;
+        }
+        self.jobs as f64 / self.micro_batches as f64
+    }
+
+    /// Mean seconds a submission waited in the queue (0 when idle).
+    pub fn mean_queue_seconds(&self) -> f64 {
+        if self.submitted == 0 {
+            return 0.0;
+        }
+        self.queue_seconds / self.submitted as f64
+    }
+
+    /// Accumulates another run's counters into this one.
+    pub fn absorb(&mut self, other: ExecStats) {
+        self.submitted += other.submitted;
+        self.rejected += other.rejected;
+        self.coalesced += other.coalesced;
+        self.micro_batches += other.micro_batches;
+        self.jobs += other.jobs;
+        self.queue_seconds += other.queue_seconds;
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} submitted ({} coalesced, {} rejected), {} micro-batches, \
+             {:.2} jobs/micro-batch, mean queue wait {:.1} ms",
+            self.submitted,
+            self.coalesced,
+            self.rejected,
+            self.micro_batches,
+            self.coalescing_ratio(),
+            1e3 * self.mean_queue_seconds()
+        )
+    }
+}
+
 /// Performance record of one job inside a batch extraction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobReport {
@@ -123,6 +195,9 @@ pub struct BatchReport {
     pub busy_seconds: f64,
     /// Aggregated cache counters across all jobs.
     pub cache: CacheStats,
+    /// Execution-core counters of this run (admission, queue wait,
+    /// coalescing).
+    pub exec: ExecStats,
 }
 
 impl BatchReport {
@@ -139,13 +214,16 @@ impl fmt::Display for BatchReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} jobs on {} workers in {:.3} s ({:.0} % efficiency); cache {}: {}",
+            "{} jobs on {} workers in {:.3} s ({:.0} % efficiency); cache {}: {}; \
+             mean queue wait {:.1} ms, {:.2} jobs/micro-batch",
             self.jobs,
             self.workers,
             self.wall_seconds,
             100.0 * self.parallel_efficiency(),
             if self.cache_enabled { "on" } else { "off" },
-            self.cache
+            self.cache,
+            1e3 * self.exec.mean_queue_seconds(),
+            self.exec.coalescing_ratio()
         )
     }
 }
@@ -212,6 +290,35 @@ mod tests {
     }
 
     #[test]
+    fn exec_stats_ratios_absorb_and_display() {
+        let mut total = ExecStats::default();
+        assert_eq!(total.coalescing_ratio(), 0.0);
+        assert_eq!(total.mean_queue_seconds(), 0.0);
+        total.absorb(ExecStats {
+            submitted: 4,
+            rejected: 1,
+            coalesced: 2,
+            micro_batches: 2,
+            jobs: 4,
+            queue_seconds: 0.02,
+        });
+        total.absorb(ExecStats {
+            submitted: 2,
+            rejected: 0,
+            coalesced: 0,
+            micro_batches: 2,
+            jobs: 2,
+            queue_seconds: 0.01,
+        });
+        assert_eq!((total.submitted, total.rejected, total.coalesced), (6, 1, 2));
+        assert!((total.coalescing_ratio() - 6.0 / 4.0).abs() < 1e-12);
+        assert!((total.mean_queue_seconds() - 0.03 / 6.0).abs() < 1e-12);
+        let s = format!("{total}");
+        assert!(s.contains("6 submitted") && s.contains("1 rejected"), "{s}");
+        assert!(s.contains("jobs/micro-batch") && s.contains("queue wait"), "{s}");
+    }
+
+    #[test]
     fn batch_efficiency() {
         let r = BatchReport {
             jobs: 8,
@@ -220,6 +327,7 @@ mod tests {
             wall_seconds: 2.0,
             busy_seconds: 6.0,
             cache: CacheStats { hits: 10, misses: 30, ..CacheStats::default() },
+            exec: ExecStats::default(),
         };
         assert!((r.parallel_efficiency() - 0.75).abs() < 1e-12);
         let idle = BatchReport { wall_seconds: 0.0, ..r };
@@ -227,7 +335,7 @@ mod tests {
     }
 
     #[test]
-    fn batch_report_display_shows_hit_rate_and_evictions() {
+    fn batch_report_display_shows_hit_rate_evictions_queue_and_coalescing() {
         let r = BatchReport {
             jobs: 8,
             workers: 4,
@@ -235,11 +343,23 @@ mod tests {
             wall_seconds: 2.0,
             busy_seconds: 6.0,
             cache: CacheStats { hits: 30, misses: 10, evictions: 5, inserted_bytes: 1920 },
+            exec: ExecStats {
+                submitted: 8,
+                rejected: 0,
+                coalesced: 4,
+                micro_batches: 4,
+                jobs: 8,
+                queue_seconds: 0.0125,
+            },
         };
         let s = format!("{r}");
         assert!(s.contains("75.0 % hit rate"), "{s}");
         assert!(s.contains("5 evictions"), "{s}");
         assert!(s.contains("8 jobs") && s.contains("cache on"), "{s}");
+        // 12.5 ms total over 8 submissions: the one-line summary shows
+        // the per-submission mean, not the sum.
+        assert!(s.contains("mean queue wait 1.6 ms"), "{s}");
+        assert!(s.contains("2.00 jobs/micro-batch"), "{s}");
         let off = BatchReport { cache_enabled: false, ..r };
         assert!(format!("{off}").contains("cache off"));
     }

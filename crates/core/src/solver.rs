@@ -4,8 +4,10 @@ use std::time::Instant;
 
 use bemcap_geom::{Geometry, Mesh, EPS0};
 use bemcap_linalg::{LuFactor, Matrix};
+use bemcap_par::{k_to_ij, pool, triangle_size};
 use bemcap_quad::galerkin::{GalerkinEngine, PanelShape};
 
+use crate::batch::default_pool_size;
 use crate::error::CoreError;
 
 /// Solves P ρ = Φ by LU (the "standard direct method" of §3) and forms
@@ -25,32 +27,77 @@ pub fn solve_capacitance(p: Matrix, phi: &Matrix) -> Result<(Matrix, f64), CoreE
 /// Dense piecewise-constant Galerkin reference solver: assembles the full
 /// panel matrix with exact closed forms and solves directly. Exact up to
 /// discretization error; O(N²) memory, so only for modest meshes.
+///
+/// The O(N²) upper-triangle assembly runs over the same contiguous
+/// static partition of the flat triangle index `k` that the Algorithm-1
+/// drivers use ([`bemcap_par::partition_ranges`]): each worker fills a
+/// private list of `(k, value)` entries that the main thread merges, so
+/// the parallel result is **bit-identical** to the serial double loop at
+/// any worker count — every entry is an independent closed-form
+/// evaluation of the same inputs.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DensePwcSolver;
 
 impl DensePwcSolver {
-    /// Extracts the capacitance matrix of `geo` discretized by `mesh`.
+    /// Extracts the capacitance matrix of `geo` discretized by `mesh`,
+    /// assembling on the `BEMCAP_POOL`-sized worker pool
+    /// ([`default_pool_size`]).
     ///
     /// # Errors
     ///
     /// * [`CoreError::Linalg`] if the panel matrix is singular.
     pub fn solve(&self, geo: &Geometry, mesh: &Mesh) -> Result<Matrix, CoreError> {
+        self.solve_with_workers(geo, mesh, default_pool_size())
+    }
+
+    /// Like [`DensePwcSolver::solve`] with an explicit worker count.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Linalg`] if the panel matrix is singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn solve_with_workers(
+        &self,
+        geo: &Geometry,
+        mesh: &Mesh,
+        workers: usize,
+    ) -> Result<Matrix, CoreError> {
         let eng = GalerkinEngine::default();
         let scale = 1.0 / (4.0 * std::f64::consts::PI * geo.eps());
         let n = mesh.panel_count();
+        let entry = |k: usize| {
+            let (i, j) = k_to_ij(k);
+            let v = scale
+                * eng.panel_pair(
+                    &mesh.panels()[i].panel,
+                    PanelShape::Flat,
+                    &mesh.panels()[j].panel,
+                    PanelShape::Flat,
+                );
+            (k, v)
+        };
         let mut p = Matrix::zeros(n, n);
-        for i in 0..n {
-            let pi = &mesh.panels()[i].panel;
-            for j in i..n {
-                let v = scale
-                    * eng.panel_pair(
-                        pi,
-                        PanelShape::Flat,
-                        &mesh.panels()[j].panel,
-                        PanelShape::Flat,
-                    );
+        let total = triangle_size(n);
+        if workers == 1 {
+            for k in 0..total {
+                let (k, v) = entry(k);
+                let (i, j) = k_to_ij(k);
                 p.set(i, j, v);
                 p.set(j, i, v);
+            }
+        } else {
+            let (parts, _) = pool::run_partitioned(workers, total, |_, range| {
+                range.map(entry).collect::<Vec<(usize, f64)>>()
+            });
+            for part in parts {
+                for (k, v) in part {
+                    let (i, j) = k_to_ij(k);
+                    p.set(i, j, v);
+                    p.set(j, i, v);
+                }
             }
         }
         let n_cond = geo.conductor_count();
@@ -102,6 +149,17 @@ mod tests {
                     "({i},{j}): dense {a} vs fmm {b}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn parallel_dense_assembly_is_bit_identical_to_serial() {
+        let geo = structures::crossing_wires(structures::CrossingParams::default());
+        let mesh = Mesh::uniform(&geo, 6);
+        let serial = DensePwcSolver.solve_with_workers(&geo, &mesh, 1).unwrap();
+        for workers in [2, 3, 5] {
+            let parallel = DensePwcSolver.solve_with_workers(&geo, &mesh, workers).unwrap();
+            assert_eq!(serial.as_slice(), parallel.as_slice(), "workers={workers}");
         }
     }
 

@@ -2,9 +2,11 @@
 //!
 //! Capacitance-vs-separation and capacitance-vs-width curves are the daily
 //! bread of extraction users (and the h-sweeps behind the paper's Fig. 2).
-//! Since the batch subsystem landed, [`sweep`] is a thin wrapper over
-//! [`BatchExtractor::extract_family`]: sweep points are scheduled across
-//! the `BEMCAP_POOL`-sized worker pool and share the pair-integral cache,
+//! [`sweep`] is a thin wrapper over [`BatchExtractor::extract_family`],
+//! and therefore a client of the shared execution core
+//! ([`crate::exec::Executor`]) like every other entry point: sweep points
+//! are submitted to the `BEMCAP_POOL`-sized executor, coalesce into
+//! engine-sharing micro-batches, and share the pair-integral cache,
 //! while results keep the exact parameter order of the input — the
 //! serial-loop semantics callers always had, just faster.
 

@@ -15,6 +15,10 @@
 //!   measured task costs on D virtual nodes with a latency+bandwidth
 //!   communication model, producing the speedup/efficiency numbers of
 //!   Table 3 and Fig. 8 on hosts with fewer physical cores (DESIGN.md §3);
+//! * [`queue`] — a long-lived FIFO work queue over a fixed worker pool,
+//!   the substrate of `bemcap-core`'s admission-controlled executor (the
+//!   scoped pool forks and joins per region; the queue stays alive for a
+//!   daemon's lifetime);
 //! * [`trace`] — workload-balance statistics for the static partition.
 //!
 //! ```
@@ -32,9 +36,11 @@ pub mod machine;
 pub mod mpi;
 pub mod partition;
 pub mod pool;
+pub mod queue;
 pub mod trace;
 
 pub use error::ParError;
 pub use machine::{CommModel, MachineSim, Phase, SimReport};
 pub use mpi::{Comm, Universe};
 pub use partition::{ij_to_k, k_to_ij, partition_ranges, triangle_size};
+pub use queue::WorkQueue;

@@ -6,19 +6,22 @@
 //!
 //! ```text
 //! bemcapd [--addr HOST:PORT] [--cache-mb N | --cache-unbounded]
-//!         [--workers N] [--max-frame-mb N]
+//!         [--workers N] [--queue N] [--coalesce N] [--max-frame-mb N]
 //! ```
 //!
 //! Defaults: `--addr 127.0.0.1:0` (a free port, printed at startup),
-//! 64 MiB cache, `BEMCAP_POOL` (or 1) workers, 8 MiB frames. Exits 0
-//! after a `shutdown` request drains.
+//! 64 MiB cache, `BEMCAP_POOL` (or 1) workers, `BEMCAP_QUEUE` (or 256)
+//! admission-queue slots, a 16-job coalescing window, 8 MiB frames.
+//! Nonsense values (zero, non-numeric) are rejected with the usage
+//! message. Exits 0 after a `shutdown` request drains.
 
 use std::process::ExitCode;
 
 use bemcap_serve::{Server, ServerConfig};
 
 const USAGE: &str = "usage: bemcapd [--addr HOST:PORT] [--cache-mb N | --cache-unbounded] \
-                     [--workers N] [--max-frame-mb N]";
+                     [--workers N] [--queue N] [--coalesce N] [--max-frame-mb N]\n\
+                     env fallbacks: BEMCAP_POOL (workers), BEMCAP_QUEUE (queue depth)";
 
 fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
     let mut cfg = ServerConfig::default();
@@ -26,6 +29,12 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
     while let Some(flag) = it.next() {
         let mut value =
             |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value\n{USAGE}"));
+        let positive = |name: &str, raw: String| {
+            raw.parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("{name} needs a positive integer\n{USAGE}"))
+        };
         match flag.as_str() {
             "--addr" => cfg.addr = value("--addr")?,
             "--cache-mb" => {
@@ -35,19 +44,11 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                 cfg.cache_max_bytes = Some(mb << 20);
             }
             "--cache-unbounded" => cfg.cache_max_bytes = None,
-            "--workers" => {
-                cfg.workers = value("--workers")?
-                    .parse::<usize>()
-                    .ok()
-                    .filter(|&n| n > 0)
-                    .ok_or_else(|| format!("--workers needs a positive integer\n{USAGE}"))?;
-            }
+            "--workers" => cfg.workers = positive("--workers", value("--workers")?)?,
+            "--queue" => cfg.queue_depth = positive("--queue", value("--queue")?)?,
+            "--coalesce" => cfg.coalesce_limit = positive("--coalesce", value("--coalesce")?)?,
             "--max-frame-mb" => {
-                let mb: usize =
-                    value("--max-frame-mb")?.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(
-                        || format!("--max-frame-mb needs a positive integer\n{USAGE}"),
-                    )?;
-                cfg.max_frame_bytes = mb << 20;
+                cfg.max_frame_bytes = positive("--max-frame-mb", value("--max-frame-mb")?)? << 20;
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
@@ -72,6 +73,8 @@ fn main() -> ExitCode {
     let cache_desc = cfg.cache_max_bytes.map_or("unbounded".to_string(), fmt_mib);
     let frame_desc = fmt_mib(cfg.max_frame_bytes);
     let workers = cfg.workers;
+    let queue = cfg.queue_depth;
+    let coalesce = cfg.coalesce_limit;
     let server = match Server::bind(cfg) {
         Ok(server) => server,
         Err(e) => {
@@ -83,7 +86,10 @@ fn main() -> ExitCode {
         Ok(addr) => {
             // The startup line is part of the interface: scripts (and the
             // CI smoke job) scrape the bound address from it.
-            println!("bemcapd listening on {addr} (workers={workers}, cache={cache_desc}, frame<={frame_desc})");
+            println!(
+                "bemcapd listening on {addr} (workers={workers}, queue={queue}, \
+                 coalesce={coalesce}, cache={cache_desc}, frame<={frame_desc})"
+            );
         }
         Err(e) => {
             eprintln!("bemcapd: cannot read bound address: {e}");

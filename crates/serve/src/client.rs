@@ -8,13 +8,15 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use bemcap_core::CacheStats;
+use bemcap_core::{CacheStats, ExecStats};
 use bemcap_geom::io::write_geometry;
 use bemcap_geom::Geometry;
 use serde_json::Value;
 
 use crate::error::ServeError;
-use crate::protocol::{self, cache_stats_from_value, encode_request, ExtractOptions, Request};
+use crate::protocol::{
+    self, cache_stats_from_value, encode_request, exec_stats_from_value, ExtractOptions, Request,
+};
 
 /// A blocking connection to a running `bemcapd`.
 ///
@@ -52,6 +54,12 @@ pub struct ExtractReply {
     pub solve_seconds: f64,
     /// Pair-integral cache counters of this request.
     pub cache: CacheStats,
+    /// Seconds the request waited in the daemon's admission queue before
+    /// its micro-batch started (0 when the daemon predates the field).
+    pub queue_seconds: f64,
+    /// Whether the daemon coalesced this request into a micro-batch
+    /// opened by an earlier concurrent request.
+    pub coalesced: bool,
 }
 
 impl ExtractReply {
@@ -87,12 +95,92 @@ pub struct DaemonStats {
     pub requests: u64,
     /// Connections accepted since start.
     pub connections: u64,
-    /// Per-request extraction pool size.
+    /// Worker pool size of the daemon's shared executor.
     pub workers: usize,
+    /// Admission queue depth (most jobs that may wait at once).
+    pub queue_depth: usize,
+    /// Coalescing window (most jobs one micro-batch may hold).
+    pub coalesce_limit: usize,
+    /// Jobs waiting in the queue right now.
+    pub queued: usize,
+    /// Jobs executing on workers right now.
+    pub running: usize,
+    /// Lifetime executor counters (admission, rejections, coalescing).
+    pub exec: ExecStats,
 }
 
 fn proto_err(msg: impl Into<String>) -> ServeError {
     ServeError::Protocol(msg.into())
+}
+
+/// Decodes one extraction result object (the `extract` result, or one
+/// entry of a `batch` result's `results` array).
+fn decode_extract_result(result: &Value) -> Result<ExtractReply, ServeError> {
+    let names: Vec<String> = result
+        .get("names")
+        .and_then(Value::as_array)
+        .ok_or_else(|| proto_err("extract response missing 'names'"))?
+        .iter()
+        .map(|v| v.as_str().map(str::to_string))
+        .collect::<Option<_>>()
+        .ok_or_else(|| proto_err("non-string conductor name"))?;
+    let rows = result
+        .get("matrix")
+        .and_then(Value::as_array)
+        .ok_or_else(|| proto_err("extract response missing 'matrix'"))?;
+    let mut matrix: Vec<Vec<f64>> = Vec::with_capacity(rows.len());
+    for row in rows {
+        let cells = row.as_array().ok_or_else(|| proto_err("matrix row is not an array"))?;
+        matrix.push(
+            cells
+                .iter()
+                .map(Value::as_f64)
+                .collect::<Option<Vec<f64>>>()
+                .ok_or_else(|| proto_err("non-numeric matrix entry"))?,
+        );
+    }
+    if matrix.len() != names.len() || matrix.iter().any(|r| r.len() != names.len()) {
+        return Err(proto_err("matrix shape does not match conductor names"));
+    }
+    let report = result.get("report").ok_or_else(|| proto_err("missing 'report'"))?;
+    let cache =
+        cache_stats_from_value(result.get("cache").ok_or_else(|| proto_err("missing 'cache'"))?)
+            .map_err(|e| proto_err(e.message))?;
+    Ok(ExtractReply {
+        names,
+        matrix,
+        method: report
+            .get("method")
+            .and_then(Value::as_str)
+            .ok_or_else(|| proto_err("report missing 'method'"))?
+            .to_string(),
+        n: report.get("n").and_then(Value::as_u64).ok_or_else(|| proto_err("report missing 'n'"))?
+            as usize,
+        setup_seconds: report.get("setup_seconds").and_then(Value::as_f64).unwrap_or(0.0),
+        solve_seconds: report.get("solve_seconds").and_then(Value::as_f64).unwrap_or(0.0),
+        cache,
+        queue_seconds: 0.0,
+        coalesced: false,
+    })
+}
+
+/// Reads one unsigned field of the `stats` response's `queue` section.
+fn queue_uint(result: &Value, name: &str) -> Result<usize, ServeError> {
+    result
+        .get("queue")
+        .and_then(|q| q.get(name))
+        .and_then(Value::as_u64)
+        .map(|n| n as usize)
+        .ok_or_else(|| proto_err(format!("stats queue section missing '{name}'")))
+}
+
+/// Fills the per-submission executor record into a reply (lenient: a
+/// missing record leaves the defaults, for older daemons).
+fn apply_exec_info(reply: &mut ExtractReply, exec: Option<&Value>) {
+    if let Some(exec) = exec {
+        reply.queue_seconds = exec.get("queue_seconds").and_then(Value::as_f64).unwrap_or(0.0);
+        reply.coalesced = exec.get("coalesced").and_then(Value::as_bool).unwrap_or(false);
+    }
 }
 
 /// Moves the value of `key` out of an owned JSON object.
@@ -147,68 +235,66 @@ impl Client {
             geometry: geometry.to_string(),
             options: *options,
         })?;
-        let names: Vec<String> = result
-            .get("names")
-            .and_then(Value::as_array)
-            .ok_or_else(|| proto_err("extract response missing 'names'"))?
-            .iter()
-            .map(|v| v.as_str().map(str::to_string))
-            .collect::<Option<_>>()
-            .ok_or_else(|| proto_err("non-string conductor name"))?;
-        let rows = result
-            .get("matrix")
-            .and_then(Value::as_array)
-            .ok_or_else(|| proto_err("extract response missing 'matrix'"))?;
-        let mut matrix: Vec<Vec<f64>> = Vec::with_capacity(rows.len());
-        for row in rows {
-            let cells = row.as_array().ok_or_else(|| proto_err("matrix row is not an array"))?;
-            matrix.push(
-                cells
-                    .iter()
-                    .map(Value::as_f64)
-                    .collect::<Option<Vec<f64>>>()
-                    .ok_or_else(|| proto_err("non-numeric matrix entry"))?,
-            );
-        }
-        if matrix.len() != names.len() || matrix.iter().any(|r| r.len() != names.len()) {
-            return Err(proto_err("matrix shape does not match conductor names"));
-        }
-        let report = result.get("report").ok_or_else(|| proto_err("missing 'report'"))?;
-        let cache = cache_stats_from_value(
-            result.get("cache").ok_or_else(|| proto_err("missing 'cache'"))?,
-        )
-        .map_err(|e| proto_err(e.message))?;
-        Ok(ExtractReply {
-            names,
-            matrix,
-            method: report
-                .get("method")
-                .and_then(Value::as_str)
-                .ok_or_else(|| proto_err("report missing 'method'"))?
-                .to_string(),
-            n: report
-                .get("n")
-                .and_then(Value::as_u64)
-                .ok_or_else(|| proto_err("report missing 'n'"))? as usize,
-            setup_seconds: report.get("setup_seconds").and_then(Value::as_f64).unwrap_or(0.0),
-            solve_seconds: report.get("solve_seconds").and_then(Value::as_f64).unwrap_or(0.0),
-            cache,
-        })
+        let mut reply = decode_extract_result(&result)?;
+        apply_exec_info(&mut reply, result.get("exec"));
+        Ok(reply)
     }
 
-    /// Liveness probe; checks the protocol version matches.
+    /// Extracts many geometries in one `batch` frame: all of them run as
+    /// one daemon-side executor submission (one micro-batch), so engine
+    /// setup and the queue slot are amortized across the family. Results
+    /// come back in input order, each bit-identical to a single-shot
+    /// [`Client::extract`] of the same geometry.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Protocol`] on a version mismatch; transport errors
-    /// as usual.
+    /// [`ServeError::Remote`] with code `busy` when the daemon's queue
+    /// cannot admit the frame, code `geometry`/`extraction` (message
+    /// naming the lowest failing index) when a geometry fails; transport
+    /// errors as [`Client::extract`].
+    pub fn extract_batch(
+        &mut self,
+        geometries: &[Geometry],
+        options: &ExtractOptions,
+    ) -> Result<Vec<ExtractReply>, ServeError> {
+        let id = self.fresh_id();
+        let result = self.roundtrip(&Request::Batch {
+            id: Some(id),
+            geometries: geometries.iter().map(write_geometry).collect(),
+            options: *options,
+        })?;
+        let entries = result
+            .get("results")
+            .and_then(Value::as_array)
+            .ok_or_else(|| proto_err("batch response missing 'results'"))?;
+        let mut replies = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let mut reply = decode_extract_result(entry)?;
+            // The executor record is per submission: shared by the frame.
+            apply_exec_info(&mut reply, result.get("exec"));
+            replies.push(reply);
+        }
+        if replies.len() != geometries.len() {
+            return Err(proto_err("batch response count does not match request"));
+        }
+        Ok(replies)
+    }
+
+    /// Liveness probe; checks the daemon speaks at least this client's
+    /// protocol version (the protocol evolves additively, so a newer
+    /// daemon still serves every op this client can send).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] when the daemon's version is older than
+    /// the client's; transport errors as usual.
     pub fn ping(&mut self) -> Result<(), ServeError> {
         let id = self.fresh_id();
         let result = self.roundtrip(&Request::Ping { id: Some(id) })?;
         match result.get("proto").and_then(Value::as_u64) {
-            Some(protocol::PROTOCOL_VERSION) => Ok(()),
+            Some(v) if v >= protocol::PROTOCOL_VERSION => Ok(()),
             Some(v) => Err(proto_err(format!(
-                "protocol version mismatch: daemon speaks {v}, client speaks {}",
+                "protocol version mismatch: daemon speaks {v}, client needs {}",
                 protocol::PROTOCOL_VERSION
             ))),
             None => Err(proto_err("ping response missing 'proto'")),
@@ -246,6 +332,14 @@ impl Client {
             requests: uint("requests")?,
             connections: uint("connections")?,
             workers: uint("workers")? as usize,
+            queue_depth: queue_uint(&result, "depth")?,
+            coalesce_limit: queue_uint(&result, "coalesce_limit")?,
+            queued: queue_uint(&result, "queued")?,
+            running: queue_uint(&result, "running")?,
+            exec: exec_stats_from_value(
+                result.get("exec").ok_or_else(|| proto_err("stats missing 'exec'"))?,
+            )
+            .map_err(|e| proto_err(e.message))?,
         })
     }
 
@@ -294,7 +388,8 @@ impl Client {
                     Request::Ping { id }
                     | Request::Stats { id }
                     | Request::Shutdown { id }
-                    | Request::Extract { id, .. } => *id,
+                    | Request::Extract { id, .. }
+                    | Request::Batch { id, .. } => *id,
                 };
                 if let Some(want) = expected {
                     let got = response.get("id").and_then(Value::as_u64);

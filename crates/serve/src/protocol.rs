@@ -14,12 +14,17 @@
 //! value decoded by the client is **bit-identical** to the `f64` the
 //! engine produced — the property behind the daemon's determinism tests.
 
-use bemcap_core::{CacheStats, Method};
+use bemcap_core::{CacheStats, ExecStats, Method};
 use serde_json::{json, Value};
 
-/// Protocol revision, reported by the `ping` op. Bump on any
-/// incompatible change to the frame shapes.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// Protocol revision, reported by the `ping` op. Bump on any change to
+/// the frame shapes. Version 2 added the `batch` op, the `busy` error
+/// code, the per-request `exec` record, and the executor-queue `stats`
+/// fields — all additive, so version-1 frames still decode. Note the
+/// version-1 client library's `ping` probe enforced exact equality and
+/// therefore refuses a v2 daemon; from v2 on, clients accept any daemon
+/// speaking at least their own version.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Machine-readable error codes of structured error responses.
 pub mod codes {
@@ -36,6 +41,10 @@ pub mod codes {
     pub const OVERSIZED: &str = "oversized";
     /// The request frame is not valid UTF-8.
     pub const UTF8: &str = "utf8";
+    /// The daemon's execution queue is full; nothing was executed.
+    /// Retry later (structured backpressure, not a failure of the
+    /// request itself).
+    pub const BUSY: &str = "busy";
 }
 
 /// A decoded request frame.
@@ -48,6 +57,18 @@ pub enum Request {
         /// Geometry in the `bemcap_geom::io` text format.
         geometry: String,
         /// Solver configuration.
+        options: ExtractOptions,
+    },
+    /// Extract many geometries under one solver configuration in a
+    /// single frame — they run as one executor submission (one
+    /// micro-batch), amortizing engine setup and queue slots.
+    Batch {
+        /// Client-chosen correlation id, echoed in the response.
+        id: Option<u64>,
+        /// Geometries in the `bemcap_geom::io` text format, answered in
+        /// this order.
+        geometries: Vec<String>,
+        /// Solver configuration, shared by every geometry in the frame.
         options: ExtractOptions,
     },
     /// Liveness / version probe.
@@ -181,34 +202,51 @@ fn decode_op(v: &Value, id: Option<u64>) -> Result<Request, WireError> {
                 .and_then(Value::as_str)
                 .ok_or_else(|| WireError::bad("'extract' needs a string 'geometry' field"))?
                 .to_string();
-            let mut options = ExtractOptions::default();
-            // Optional fields: absent and null both mean "use the
-            // default" (the encoder emits null for unset options).
-            if let Some(m) = v.get("method").filter(|m| !m.is_null()) {
-                let name = m.as_str().ok_or_else(|| WireError::bad("'method' must be a string"))?;
-                options.method = parse_method(name).ok_or_else(|| {
-                    WireError::bad(format!(
-                        "unknown method '{name}' (expected instantiable, pwc-dense, pwc-fmm or pwc-pfft)"
-                    ))
-                })?;
-            }
-            if let Some(a) = v.get("accelerated").filter(|a| !a.is_null()) {
-                options.accelerated =
-                    a.as_bool().ok_or_else(|| WireError::bad("'accelerated' must be a boolean"))?;
-            }
-            if let Some(d) = v.get("mesh_divisions").filter(|d| !d.is_null()) {
-                let n = d
-                    .as_u64()
-                    .filter(|&n| n > 0)
-                    .ok_or_else(|| WireError::bad("'mesh_divisions' must be a positive integer"))?;
-                options.mesh_divisions = Some(n as usize);
-            }
-            Ok(Request::Extract { id, geometry, options })
+            Ok(Request::Extract { id, geometry, options: decode_options(v)? })
+        }
+        "batch" => {
+            let entries = v
+                .get("geometries")
+                .and_then(Value::as_array)
+                .ok_or_else(|| WireError::bad("'batch' needs a 'geometries' array field"))?;
+            let geometries: Vec<String> = entries
+                .iter()
+                .map(|g| g.as_str().map(str::to_string))
+                .collect::<Option<_>>()
+                .ok_or_else(|| WireError::bad("'geometries' entries must be strings"))?;
+            Ok(Request::Batch { id, geometries, options: decode_options(v)? })
         }
         other => Err(WireError::bad(format!(
-            "unknown op '{other}' (expected extract, ping, stats or shutdown)"
+            "unknown op '{other}' (expected extract, batch, ping, stats or shutdown)"
         ))),
     }
+}
+
+/// Decodes the shared solver-option fields of `extract` and `batch`
+/// requests. Optional fields: absent and null both mean "use the
+/// default" (the encoder emits null for unset options).
+fn decode_options(v: &Value) -> Result<ExtractOptions, WireError> {
+    let mut options = ExtractOptions::default();
+    if let Some(m) = v.get("method").filter(|m| !m.is_null()) {
+        let name = m.as_str().ok_or_else(|| WireError::bad("'method' must be a string"))?;
+        options.method = parse_method(name).ok_or_else(|| {
+            WireError::bad(format!(
+                "unknown method '{name}' (expected instantiable, pwc-dense, pwc-fmm or pwc-pfft)"
+            ))
+        })?;
+    }
+    if let Some(a) = v.get("accelerated").filter(|a| !a.is_null()) {
+        options.accelerated =
+            a.as_bool().ok_or_else(|| WireError::bad("'accelerated' must be a boolean"))?;
+    }
+    if let Some(d) = v.get("mesh_divisions").filter(|d| !d.is_null()) {
+        let n = d
+            .as_u64()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| WireError::bad("'mesh_divisions' must be a positive integer"))?;
+        options.mesh_divisions = Some(n as usize);
+    }
+    Ok(options)
 }
 
 /// Encodes a request as one frame line (no trailing newline).
@@ -221,6 +259,16 @@ pub fn encode_request(req: &Request) -> String {
             "op": "extract",
             "id": *id,
             "geometry": geometry.as_str(),
+            "method": method_name(options.method),
+            "accelerated": options.accelerated,
+            "mesh_divisions": options.mesh_divisions,
+        }),
+        Request::Batch { id, geometries, options } => json!({
+            "op": "batch",
+            "id": *id,
+            "geometries": Value::Array(
+                geometries.iter().map(|g| Value::String(g.clone())).collect()
+            ),
             "method": method_name(options.method),
             "accelerated": options.accelerated,
             "mesh_divisions": options.mesh_divisions,
@@ -281,6 +329,45 @@ pub fn cache_stats_from_value(v: &Value) -> Result<CacheStats, WireError> {
     })
 }
 
+/// Serializes executor counters for a response body.
+pub fn exec_stats_value(stats: &ExecStats) -> Value {
+    json!({
+        "submitted": stats.submitted,
+        "rejected": stats.rejected,
+        "coalesced": stats.coalesced,
+        "micro_batches": stats.micro_batches,
+        "jobs": stats.jobs,
+        "queue_seconds": stats.queue_seconds,
+        "coalescing_ratio": stats.coalescing_ratio(),
+    })
+}
+
+/// Decodes executor counters from a response body.
+///
+/// # Errors
+///
+/// [`WireError`] with [`codes::BAD_REQUEST`] when a field is missing or
+/// mistyped.
+pub fn exec_stats_from_value(v: &Value) -> Result<ExecStats, WireError> {
+    let field = |name: &str| {
+        v.get(name)
+            .and_then(Value::as_u64)
+            .map(|n| n as usize)
+            .ok_or_else(|| WireError::bad(format!("exec stats missing '{name}'")))
+    };
+    Ok(ExecStats {
+        submitted: field("submitted")?,
+        rejected: field("rejected")?,
+        coalesced: field("coalesced")?,
+        micro_batches: field("micro_batches")?,
+        jobs: field("jobs")?,
+        queue_seconds: v
+            .get("queue_seconds")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| WireError::bad("exec stats missing 'queue_seconds'"))?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +386,14 @@ mod tests {
                     accelerated: true,
                     mesh_divisions: Some(6),
                 },
+            },
+            Request::Batch {
+                id: Some(4),
+                geometries: vec![
+                    "conductor a\nbox 0 0 0 1 1 1\n".into(),
+                    "conductor b\nbox 0 0 0 2 2 2\n".into(),
+                ],
+                options: ExtractOptions::default(),
             },
         ];
         for req in reqs {
@@ -406,6 +501,57 @@ mod tests {
         assert_eq!(v["ok"].as_bool(), Some(false));
         assert_eq!(v["error"]["code"].as_str(), Some(codes::OVERSIZED));
         assert!(!ok.contains('\n') && !err.contains('\n'));
+    }
+
+    #[test]
+    fn batch_requests_decode_and_reject_bad_shapes() {
+        let req = decode_request(r#"{"op":"batch","geometries":["g1","g2"],"method":"pwc-dense"}"#)
+            .unwrap();
+        match req {
+            Request::Batch { id, geometries, options } => {
+                assert_eq!(id, None);
+                assert_eq!(geometries, vec!["g1".to_string(), "g2".to_string()]);
+                assert_eq!(options.method, Method::PwcDense);
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+        // An empty list is well-formed (the daemon answers with an empty
+        // results array).
+        match decode_request(r#"{"op":"batch","geometries":[]}"#).unwrap() {
+            Request::Batch { geometries, .. } => assert!(geometries.is_empty()),
+            other => panic!("expected batch, got {other:?}"),
+        }
+        assert_eq!(decode_request(r#"{"op":"batch"}"#).unwrap_err().code, codes::BAD_REQUEST);
+        assert_eq!(
+            decode_request(r#"{"op":"batch","geometries":"g1"}"#).unwrap_err().code,
+            codes::BAD_REQUEST
+        );
+        assert_eq!(
+            decode_request(r#"{"op":"batch","geometries":[1,2]}"#).unwrap_err().code,
+            codes::BAD_REQUEST
+        );
+        assert_eq!(
+            decode_request(r#"{"op":"batch","geometries":["g"],"method":"magic"}"#)
+                .unwrap_err()
+                .code,
+            codes::BAD_REQUEST
+        );
+    }
+
+    #[test]
+    fn exec_stats_round_trip() {
+        let stats = ExecStats {
+            submitted: 9,
+            rejected: 2,
+            coalesced: 4,
+            micro_batches: 5,
+            jobs: 9,
+            queue_seconds: 0.25,
+        };
+        let v = exec_stats_value(&stats);
+        assert_eq!(exec_stats_from_value(&v).unwrap(), stats);
+        assert!((v["coalescing_ratio"].as_f64().unwrap() - 9.0 / 5.0).abs() < 1e-12);
+        assert!(exec_stats_from_value(&json!({ "submitted": 1 })).is_err());
     }
 
     #[test]

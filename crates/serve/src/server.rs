@@ -1,12 +1,27 @@
 //! The `bemcapd` daemon: a std-`TcpListener` extraction service.
 //!
 //! One OS thread per connection reads newline-delimited JSON requests
-//! (see [`crate::protocol`]) and answers in order. All connections share
-//! one process-lifetime [`TemplateCache`], so the pair integrals a
-//! request computes stay warm for every later request — the serving-side
-//! payoff of the paper's instantiable-basis economics: per-structure
-//! setup is cheap, and what little there is gets amortized across the
-//! daemon's lifetime instead of one process run.
+//! (see [`crate::protocol`]) and answers in order — but connection
+//! threads only **parse, enqueue, and respond**. Extraction itself runs
+//! on the daemon's process-lifetime [`Executor`]
+//! (`bemcap_core::exec`), shared by every connection:
+//!
+//! * CPU concurrency is bounded by the executor's worker pool, not the
+//!   connection count;
+//! * at most [`ExecConfig::queue_depth`] jobs wait at once — beyond
+//!   that, requests get a structured `busy` error immediately instead of
+//!   piling up (`--queue`, env `BEMCAP_QUEUE`);
+//! * concurrent same-configuration requests **coalesce** into shared
+//!   micro-batches (one Galerkin engine, warm accel tables, cache
+//!   locality), with results demultiplexed back per request
+//!   (`--coalesce` caps the window).
+//!
+//! All connections also share one process-lifetime [`TemplateCache`], so
+//! the pair integrals a request computes stay warm for every later
+//! request — the serving-side payoff of the paper's instantiable-basis
+//! economics: per-structure setup is cheap, and what little there is
+//! gets amortized across the daemon's lifetime instead of one process
+//! run.
 //!
 //! Robustness rules (tested in `tests/serve_daemon.rs`):
 //!
@@ -31,13 +46,15 @@ use std::time::{Duration, Instant};
 
 use bemcap_core::batch::default_pool_size;
 use bemcap_core::cache::TemplateCache;
-use bemcap_core::{BatchExtractor, BatchJob, CoreError, Extractor};
+use bemcap_core::exec::{default_queue_depth, ExecConfig, Executor, DEFAULT_COALESCE_LIMIT};
+use bemcap_core::{BatchJob, CoreError, Extractor, Submission};
 use bemcap_geom::io::parse_geometry;
+use bemcap_geom::Geometry;
 use serde_json::{json, Value};
 
 use crate::protocol::{
-    self, cache_stats_value, codes, error_response, ok_response, ExtractOptions, Request,
-    PROTOCOL_VERSION,
+    self, cache_stats_value, codes, error_response, exec_stats_value, ok_response, ExtractOptions,
+    Request, PROTOCOL_VERSION,
 };
 
 /// How often a blocked connection read wakes up to check the shutdown
@@ -52,11 +69,18 @@ pub struct ServerConfig {
     /// Memory bound of the shared [`TemplateCache`] in bytes
     /// (`None` = unbounded). Default 64 MiB.
     pub cache_max_bytes: Option<usize>,
-    /// Worker pool size for each request's extraction (the `bemcap-par`
-    /// pool under `BatchExtractor`). Default: `BEMCAP_POOL` or 1.
+    /// Worker pool size of the shared executor all requests run on.
+    /// Default: `BEMCAP_POOL` or 1.
     pub workers: usize,
     /// Largest accepted request frame in bytes. Default 8 MiB.
     pub max_frame_bytes: usize,
+    /// Admission queue depth of the shared executor: the most jobs that
+    /// may wait at once before requests are refused with a `busy` error.
+    /// Default: `BEMCAP_QUEUE` or 256.
+    pub queue_depth: usize,
+    /// Most jobs one coalesced micro-batch may hold (1 disables request
+    /// coalescing). Default 16.
+    pub coalesce_limit: usize,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +90,8 @@ impl Default for ServerConfig {
             cache_max_bytes: Some(64 << 20),
             workers: default_pool_size(),
             max_frame_bytes: 8 << 20,
+            queue_depth: default_queue_depth(),
+            coalesce_limit: DEFAULT_COALESCE_LIMIT,
         }
     }
 }
@@ -73,6 +99,7 @@ impl Default for ServerConfig {
 struct ServerState {
     cfg: ServerConfig,
     cache: Arc<TemplateCache>,
+    executor: Executor,
     shutdown: AtomicBool,
     requests: AtomicU64,
     connections: AtomicU64,
@@ -94,19 +121,31 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener and builds the process-lifetime cache. Also
-    /// pre-builds the §4.2.3 accel tables so no request is ever billed
-    /// for them.
+    /// Binds the listener, builds the process-lifetime cache, and starts
+    /// the shared executor every request will run on. Also pre-builds
+    /// the §4.2.3 accel tables so no request is ever billed for them.
     ///
     /// # Errors
     ///
-    /// [`io::ErrorKind::InvalidInput`] for a zero worker count; any
-    /// socket error from bind.
+    /// [`io::ErrorKind::InvalidInput`] for a zero worker count, queue
+    /// depth, or coalescing window; any socket error from bind.
     pub fn bind(cfg: ServerConfig) -> io::Result<Server> {
         if cfg.workers == 0 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 "daemon needs at least one extraction worker",
+            ));
+        }
+        if cfg.queue_depth == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "daemon needs a queue depth of at least one job",
+            ));
+        }
+        if cfg.coalesce_limit == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "coalescing window must be at least 1 (1 = off)",
             ));
         }
         let listener = TcpListener::bind(cfg.addr.as_str())?;
@@ -116,9 +155,15 @@ impl Server {
             Some(bytes) => TemplateCache::with_max_bytes(bytes),
             None => TemplateCache::unbounded(),
         });
+        let executor = Executor::new(ExecConfig {
+            workers: cfg.workers,
+            queue_depth: cfg.queue_depth,
+            coalesce_limit: cfg.coalesce_limit,
+        });
         let state = Arc::new(ServerState {
             cfg,
             cache,
+            executor,
             shutdown: AtomicBool::new(false),
             requests: AtomicU64::new(0),
             connections: AtomicU64::new(0),
@@ -335,6 +380,7 @@ fn dispatch(state: &ServerState, line: &str) -> String {
         ),
         Request::Stats { id } => {
             let cache = &state.cache;
+            let exec = &state.executor;
             ok_response(
                 id,
                 json!({
@@ -346,6 +392,13 @@ fn dispatch(state: &ServerState, line: &str) -> String {
                     "requests": state.requests.load(Ordering::Relaxed) as f64,
                     "connections": state.connections.load(Ordering::Relaxed) as f64,
                     "workers": state.cfg.workers,
+                    "queue": json!({
+                        "depth": state.cfg.queue_depth,
+                        "coalesce_limit": state.cfg.coalesce_limit,
+                        "queued": exec.queued_jobs(),
+                        "running": exec.running_jobs(),
+                    }),
+                    "exec": exec_stats_value(&exec.stats()),
                 }),
             )
         }
@@ -357,6 +410,10 @@ fn dispatch(state: &ServerState, line: &str) -> String {
             Ok(result) => ok_response(id, result),
             Err(e) => error_response(id, e.code, &e.message),
         },
+        Request::Batch { id, geometries, options } => match batch(state, &geometries, options) {
+            Ok(result) => ok_response(id, result),
+            Err(e) => error_response(id, e.code, &e.message),
+        },
     }
 }
 
@@ -365,30 +422,54 @@ struct DispatchError {
     message: String,
 }
 
-fn extract(
-    state: &ServerState,
-    geometry: &str,
-    options: ExtractOptions,
-) -> Result<Value, DispatchError> {
-    let geo = parse_geometry(geometry)
-        .map_err(|e| DispatchError { code: codes::GEOMETRY, message: e.to_string() })?;
+/// Builds the extractor for a request's solver options.
+fn request_extractor(options: ExtractOptions) -> Extractor {
     let mut extractor = Extractor::new().method(options.method).accelerated(options.accelerated);
     if let Some(d) = options.mesh_divisions {
         extractor = extractor.mesh_divisions(d);
     }
-    let batch = BatchExtractor::new(extractor)
-        .workers(state.cfg.workers)
-        .shared_cache(Arc::clone(&state.cache));
-    let result = batch
-        .extract_all(&[BatchJob::new("request", geo)])
-        .map_err(|e| DispatchError { code: codes::EXTRACTION, message: flatten(&e).to_string() })?;
-    let point = &result.points()[0];
-    let c = point.extraction.capacitance();
-    let report = point.extraction.report();
+    extractor
+}
+
+/// Parses one embedded geometry, labeling errors with the job index for
+/// multi-geometry frames.
+fn parse_job(text: &str, index: Option<usize>) -> Result<Geometry, DispatchError> {
+    parse_geometry(text).map_err(|e| DispatchError {
+        code: codes::GEOMETRY,
+        message: match index {
+            Some(i) => format!("geometry {i}: {e}"),
+            None => e.to_string(),
+        },
+    })
+}
+
+/// Submits jobs to the daemon's shared executor and waits for the
+/// demultiplexed results — the only execution path of the daemon.
+fn run_on_executor(
+    state: &ServerState,
+    extractor: &Extractor,
+    jobs: Vec<BatchJob>,
+) -> Result<Submission, DispatchError> {
+    let ticket = state.executor.submit(extractor, Some(Arc::clone(&state.cache)), jobs).map_err(
+        |e| match e {
+            CoreError::Busy { .. } => DispatchError { code: codes::BUSY, message: e.to_string() },
+            other => DispatchError { code: codes::EXTRACTION, message: other.to_string() },
+        },
+    )?;
+    Ok(ticket.wait())
+}
+
+/// Serializes one job's extraction as a result object.
+fn extraction_value(
+    extraction: &bemcap_core::Extraction,
+    cache: &bemcap_core::CacheStats,
+) -> Value {
+    let c = extraction.capacitance();
+    let report = extraction.report();
     let matrix: Vec<Value> = (0..c.dim())
         .map(|i| Value::Array((0..c.dim()).map(|j| Value::Number(c.get(i, j))).collect()))
         .collect();
-    Ok(json!({
+    json!({
         "names": c.names().to_vec(),
         "matrix": Value::Array(matrix),
         "report": json!({
@@ -399,17 +480,74 @@ fn extract(
             "solve_seconds": report.solve_seconds,
             "memory_bytes": report.memory_bytes,
         }),
-        "cache": cache_stats_value(&point.job.cache),
-    }))
+        "cache": cache_stats_value(cache),
+    })
 }
 
-/// The daemon wraps each request in a 1-job batch; unwrap the BatchJob
-/// layer so clients see the underlying cause, not "batch job 0 failed".
-fn flatten(e: &CoreError) -> &CoreError {
-    match e {
-        CoreError::BatchJob { source, .. } => flatten(source),
-        other => other,
+/// Per-submission executor record, attached to every extraction result.
+fn submission_exec_value(sub: &Submission) -> Value {
+    json!({
+        "queue_seconds": sub.queue_seconds,
+        "coalesced": sub.coalesced,
+        "micro_batch_jobs": sub.micro_batch_jobs,
+    })
+}
+
+fn extract(
+    state: &ServerState,
+    geometry: &str,
+    options: ExtractOptions,
+) -> Result<Value, DispatchError> {
+    let geo = parse_job(geometry, None)?;
+    let extractor = request_extractor(options);
+    let sub = run_on_executor(state, &extractor, vec![BatchJob::new("request", geo)])?;
+    let outcome = &sub.outcomes[0];
+    let (extraction, cache) = outcome
+        .result
+        .as_ref()
+        .map_err(|e| DispatchError { code: codes::EXTRACTION, message: e.to_string() })?;
+    let mut result = extraction_value(extraction, cache);
+    if let Value::Object(entries) = &mut result {
+        entries.push(("exec".to_string(), submission_exec_value(&sub)));
     }
+    Ok(result)
+}
+
+fn batch(
+    state: &ServerState,
+    geometries: &[String],
+    options: ExtractOptions,
+) -> Result<Value, DispatchError> {
+    let jobs: Vec<BatchJob> = geometries
+        .iter()
+        .enumerate()
+        .map(|(i, text)| Ok(BatchJob::new(format!("job{i}"), parse_job(text, Some(i))?)))
+        .collect::<Result<_, DispatchError>>()?;
+    if jobs.is_empty() {
+        return Ok(json!({ "results": Value::Array(Vec::new()) }));
+    }
+    let extractor = request_extractor(options);
+    let sub = run_on_executor(state, &extractor, jobs)?;
+    // Lowest-failing-index semantics, mirroring `CoreError::BatchJob`:
+    // the whole frame fails with the first failing geometry's error.
+    if let Some((index, e)) = sub.first_failure() {
+        return Err(DispatchError {
+            code: codes::EXTRACTION,
+            message: format!("geometry {index}: {e}"),
+        });
+    }
+    let results: Vec<Value> = sub
+        .outcomes
+        .iter()
+        .map(|o| {
+            let (extraction, cache) = o.result.as_ref().expect("failures handled above");
+            extraction_value(extraction, cache)
+        })
+        .collect();
+    Ok(json!({
+        "results": Value::Array(results),
+        "exec": submission_exec_value(&sub),
+    }))
 }
 
 #[cfg(test)]
@@ -417,8 +555,15 @@ mod tests {
     use super::*;
 
     fn test_state(max_frame: usize) -> ServerState {
+        let cfg =
+            ServerConfig { max_frame_bytes: max_frame, workers: 1, ..ServerConfig::default() };
         ServerState {
-            cfg: ServerConfig { max_frame_bytes: max_frame, workers: 1, ..ServerConfig::default() },
+            executor: Executor::new(ExecConfig {
+                workers: cfg.workers,
+                queue_depth: cfg.queue_depth,
+                coalesce_limit: cfg.coalesce_limit,
+            }),
+            cfg,
             cache: Arc::new(TemplateCache::unbounded()),
             shutdown: AtomicBool::new(false),
             requests: AtomicU64::new(0),
@@ -445,6 +590,10 @@ mod tests {
         let v = serde_json::from_str(&dispatch(&state, r#"{"op":"stats"}"#)).unwrap();
         assert_eq!(v["result"]["requests"].as_u64(), Some(4));
         assert_eq!(v["result"]["cache_entries"].as_u64(), Some(0));
+        // The executor-queue section is always present.
+        assert_eq!(v["result"]["queue"]["queued"].as_u64(), Some(0));
+        assert!(v["result"]["queue"]["depth"].as_u64().unwrap() >= 1);
+        assert_eq!(v["result"]["exec"]["rejected"].as_u64(), Some(0));
     }
 
     #[test]
@@ -479,13 +628,47 @@ mod tests {
     }
 
     #[test]
-    fn extract_error_is_flattened() {
-        let e = CoreError::BatchJob {
-            index: 0,
-            parameter: None,
-            source: Box::new(CoreError::EmptyGeometry),
-        };
-        assert!(matches!(flatten(&e), CoreError::EmptyGeometry));
+    fn dispatch_batch_runs_and_reports_failing_index() {
+        let state = test_state(1 << 20);
+        let a =
+            "conductor a\\nbox 0 0 0 1e-6 1e-6 1e-6\\nconductor b\\nbox 0 0 2e-6 1e-6 1e-6 3e-6\\n";
+        let line = format!(r#"{{"op":"batch","id":4,"geometries":["{a}","{a}"]}}"#);
+        let v = serde_json::from_str(&dispatch(&state, &line)).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(true), "{v:?}");
+        let results = v["result"]["results"].as_array().unwrap();
+        assert_eq!(results.len(), 2);
+        // Identical geometries in one frame: both matrices bit-identical.
+        assert_eq!(
+            serde_json::to_string(&results[0]["matrix"]).unwrap(),
+            serde_json::to_string(&results[1]["matrix"]).unwrap()
+        );
+        assert_eq!(v["result"]["exec"]["micro_batch_jobs"].as_u64(), Some(2));
+
+        // A bad geometry fails the frame with its index in the message.
+        let line = format!(r#"{{"op":"batch","id":5,"geometries":["{a}","broken"]}}"#);
+        let v = serde_json::from_str(&dispatch(&state, &line)).unwrap();
+        assert_eq!(v["error"]["code"].as_str(), Some(codes::GEOMETRY));
+        assert!(v["error"]["message"].as_str().unwrap().contains("geometry 1"), "{v:?}");
+
+        // An empty frame is answered with an empty results array.
+        let v =
+            serde_json::from_str(&dispatch(&state, r#"{"op":"batch","geometries":[]}"#)).unwrap();
+        assert_eq!(v["result"]["results"].as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn busy_executor_maps_to_the_busy_code() {
+        let state = test_state(1 << 20);
+        // A frame larger than the whole admission queue can never run.
+        let geo =
+            "conductor a\\nbox 0 0 0 1e-6 1e-6 1e-6\\nconductor b\\nbox 0 0 2e-6 1e-6 1e-6 3e-6\\n";
+        let many: Vec<String> =
+            (0..state.cfg.queue_depth + 1).map(|_| format!("\"{geo}\"")).collect();
+        let line = format!(r#"{{"op":"batch","id":9,"geometries":[{}]}}"#, many.join(","));
+        let v = serde_json::from_str(&dispatch(&state, &line)).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(false));
+        assert_eq!(v["error"]["code"].as_str(), Some(codes::BUSY), "{v:?}");
+        assert_eq!(v["id"].as_u64(), Some(9));
     }
 
     #[test]

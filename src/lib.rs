@@ -46,7 +46,8 @@ pub use bemcap_serve as serve;
 pub mod prelude {
     pub use bemcap_core::{
         BatchExtractor, BatchJob, BatchPoint, BatchReport, BatchResult, CacheStats,
-        CapacitanceMatrix, Extraction, Extractor, JobReport, Method, TemplateCache,
+        CapacitanceMatrix, ExecConfig, ExecStats, Executor, Extraction, Extractor, JobReport,
+        Method, TemplateCache,
     };
     pub use bemcap_geom::{structures, Box3, Conductor, Geometry, Mesh, Panel, Point3};
     pub use bemcap_serve::{Client, ExtractOptions, ServeError, Server, ServerConfig};

@@ -1,0 +1,226 @@
+//! Property-based tests of the shared execution core
+//! (`bemcap_core::exec`): for random families, pool sizes, queue
+//! depths, and coalescing windows,
+//!
+//! * coalesced, uncoalesced, and direct single-shot extraction are
+//!   **bit-identical** (CI re-runs this under `BEMCAP_POOL=1,4`);
+//! * a full admission queue returns a structured `Busy` rejection and
+//!   the run never deadlocks — every admitted ticket resolves;
+//! * a failing job fails only its own submission, even inside a
+//!   coalesced micro-batch.
+
+use std::sync::Arc;
+
+use bemcap_core::exec::{ExecConfig, Executor, Ticket};
+use bemcap_core::{BatchJob, CoreError, Extractor, TemplateCache};
+use bemcap_geom::structures::{self, BusParams, CrossingParams};
+use bemcap_geom::Geometry;
+use proptest::prelude::*;
+
+fn crossing(h: f64) -> Geometry {
+    structures::crossing_wires(CrossingParams { separation: h, ..Default::default() })
+}
+
+fn job(h: f64) -> BatchJob {
+    BatchJob::new(format!("h={h}"), crossing(h))
+}
+
+fn matrix_of(sub: &bemcap_core::Submission, idx: usize) -> Vec<f64> {
+    let (extraction, _) = sub.outcomes[idx].result.as_ref().expect("job ok");
+    extraction.capacitance().matrix().as_slice().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// One random 3-point family through executors with a random pool
+    /// size, queue depth, and coalescing window vs the same executor
+    /// with coalescing off vs direct extraction: all bit-identical, in
+    /// input order.
+    #[test]
+    fn coalesced_uncoalesced_and_direct_are_bit_identical(
+        h1 in 0.3..1.5f64,
+        h2 in 0.3..1.5f64,
+        h3 in 0.3..1.5f64,
+        workers in 1usize..5,
+        depth in 3usize..64,
+        window in 2usize..9,
+    ) {
+        let hs: Vec<f64> = [h1, h2, h3].iter().map(|h| h * 1e-6).collect();
+        let ex = Extractor::new();
+        let coalescing = Executor::new(ExecConfig {
+            workers,
+            queue_depth: depth,
+            coalesce_limit: window,
+        });
+        let solo = Executor::new(ExecConfig {
+            workers,
+            queue_depth: depth,
+            coalesce_limit: 1,
+        });
+        let cache_a = Arc::new(TemplateCache::unbounded());
+        let cache_b = Arc::new(TemplateCache::unbounded());
+        let on: Vec<Ticket> = hs
+            .iter()
+            .map(|&h| {
+                coalescing
+                    .submit(&ex, Some(Arc::clone(&cache_a)), vec![job(h)])
+                    .expect("depth >= jobs admits everything")
+            })
+            .collect();
+        let off: Vec<Ticket> = hs
+            .iter()
+            .map(|&h| {
+                solo.submit(&ex, Some(Arc::clone(&cache_b)), vec![job(h)])
+                    .expect("depth >= jobs admits everything")
+            })
+            .collect();
+        for ((h, a), b) in hs.iter().zip(on).zip(off) {
+            let (sa, sb) = (a.wait(), b.wait());
+            let direct = ex.extract(&crossing(*h)).expect("direct");
+            prop_assert_eq!(
+                matrix_of(&sa, 0),
+                direct.capacitance().matrix().as_slice().to_vec(),
+                "coalescing window {} differs from direct at h={}", window, h
+            );
+            prop_assert_eq!(
+                matrix_of(&sb, 0),
+                direct.capacitance().matrix().as_slice().to_vec(),
+                "uncoalesced differs from direct at h={}", h
+            );
+        }
+        // The uncoalesced executor must not have coalesced anything.
+        prop_assert_eq!(solo.stats().coalesced, 0);
+    }
+
+    /// Storm a tiny queue: admitted submissions all resolve correctly
+    /// (no deadlock — the test finishing is the assertion), rejections
+    /// are structured `Busy` values with the configured depth, and
+    /// accounting adds up.
+    #[test]
+    fn full_queue_rejects_with_busy_and_every_ticket_resolves(
+        depth in 1usize..3,
+        window in 1usize..5,
+    ) {
+        let exec = Executor::new(ExecConfig { workers: 1, queue_depth: depth, coalesce_limit: window });
+        let ex = Extractor::new();
+        // A moderately slow job shape so the single worker stays behind
+        // the submission loop.
+        let geo = structures::bus_crossing(2, 2, BusParams::default());
+        let mut tickets = Vec::new();
+        let mut busy = 0usize;
+        for i in 0..24 {
+            match exec.submit(&ex, None, vec![BatchJob::new(format!("j{i}"), geo.clone())]) {
+                Ok(t) => tickets.push(t),
+                Err(CoreError::Busy { queued, depth: d }) => {
+                    prop_assert_eq!(d, depth);
+                    prop_assert!(queued <= depth);
+                    busy += 1;
+                }
+                Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+            }
+        }
+        // 24 instant submissions against a depth-1..2 queue of slow jobs:
+        // the queue must have been full at least once.
+        prop_assert!(busy > 0, "no Busy seen: depth={} window={}", depth, window);
+        let admitted = tickets.len();
+        let reference = ex.extract(&geo).expect("direct");
+        for t in tickets {
+            let sub = t.wait();
+            prop_assert!(sub.first_failure().is_none());
+            prop_assert_eq!(
+                matrix_of(&sub, 0),
+                reference.capacitance().matrix().as_slice().to_vec()
+            );
+        }
+        let stats = exec.stats();
+        prop_assert_eq!(stats.rejected, busy);
+        prop_assert_eq!(stats.submitted, admitted);
+        prop_assert_eq!(stats.jobs, admitted);
+    }
+
+    /// A bad geometry sandwiched between good submissions (freely
+    /// coalescible: same config, same cache): only its own submission
+    /// fails, and the good ones stay bit-identical to direct extraction.
+    #[test]
+    fn failing_submission_is_isolated(
+        h1 in 0.3..1.5f64,
+        h2 in 0.3..1.5f64,
+        window in 1usize..9,
+    ) {
+        let (h1, h2) = (h1 * 1e-6, h2 * 1e-6);
+        let exec = Executor::new(ExecConfig { workers: 1, queue_depth: 8, coalesce_limit: window });
+        let ex = Extractor::new();
+        let cache = Arc::new(TemplateCache::unbounded());
+        let good1 = exec.submit(&ex, Some(Arc::clone(&cache)), vec![job(h1)]).expect("good1");
+        let bad = exec
+            .submit(
+                &ex,
+                Some(Arc::clone(&cache)),
+                vec![BatchJob::new("empty", Geometry::new(vec![]))],
+            )
+            .expect("bad admitted");
+        let good2 = exec.submit(&ex, Some(Arc::clone(&cache)), vec![job(h2)]).expect("good2");
+        let (s1, sb, s2) = (good1.wait(), bad.wait(), good2.wait());
+        match sb.first_failure() {
+            Some((0, CoreError::EmptyGeometry)) => {}
+            other => prop_assert!(false, "expected EmptyGeometry at 0, got {:?}", other),
+        }
+        for (h, sub) in [(h1, &s1), (h2, &s2)] {
+            prop_assert!(sub.first_failure().is_none(), "good submission failed");
+            let direct = ex.extract(&crossing(h)).expect("direct");
+            prop_assert_eq!(
+                matrix_of(sub, 0),
+                direct.capacitance().matrix().as_slice().to_vec()
+            );
+        }
+    }
+}
+
+/// The `BEMCAP_POOL`-sized default executor (what `sweep()` and default
+/// batch runs use, and what CI's pool matrix varies): results must be
+/// bit-identical to direct extraction at whatever size the environment
+/// picked.
+#[test]
+fn default_sized_executor_matches_direct_extraction() {
+    let exec = Executor::new(ExecConfig::default());
+    let ex = Extractor::new();
+    let hs = [0.4e-6, 0.7e-6, 1.0e-6, 1.3e-6];
+    let tickets: Vec<Ticket> =
+        hs.iter().map(|&h| exec.submit(&ex, None, vec![job(h)]).expect("admitted")).collect();
+    for (h, t) in hs.iter().zip(tickets) {
+        let sub = t.wait();
+        let direct = ex.extract(&crossing(*h)).expect("direct");
+        assert_eq!(matrix_of(&sub, 0), direct.capacitance().matrix().as_slice().to_vec(), "h={h}");
+    }
+    let stats = exec.stats();
+    assert_eq!(stats.jobs, hs.len());
+    assert_eq!(stats.rejected, 0);
+}
+
+/// A multi-job submission (the wire `batch` op's shape) is one
+/// micro-batch: results in input order, bit-identical to single shots.
+#[test]
+fn multi_job_submission_matches_singles() {
+    let exec = Executor::new(ExecConfig { workers: 2, queue_depth: 16, coalesce_limit: 16 });
+    let ex = Extractor::new();
+    let hs = [0.5e-6, 0.8e-6, 1.1e-6];
+    let sub = exec
+        .submit(
+            &ex,
+            Some(Arc::new(TemplateCache::unbounded())),
+            hs.iter().map(|&h| job(h)).collect(),
+        )
+        .expect("admitted")
+        .wait();
+    assert_eq!(sub.outcomes.len(), hs.len());
+    assert_eq!(sub.micro_batch_jobs, hs.len());
+    for (i, h) in hs.iter().enumerate() {
+        let direct = ex.extract(&crossing(*h)).expect("direct");
+        assert_eq!(
+            matrix_of(&sub, i),
+            direct.capacitance().matrix().as_slice().to_vec(),
+            "index {i}"
+        );
+    }
+}

@@ -93,6 +93,179 @@ fn concurrent_clients_bit_identical_to_in_process_cold_and_warm() {
 }
 
 #[test]
+fn wire_batch_op_is_bit_identical_to_single_shot() {
+    let server = default_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let geometries: Vec<Geometry> = golden_geometries().into_iter().map(|(_, geo)| geo).collect();
+    let replies =
+        client.extract_batch(&geometries, &ExtractOptions::default()).expect("batch over the wire");
+    assert_eq!(replies.len(), geometries.len());
+    for (i, (reply, geo)) in replies.iter().zip(&geometries).enumerate() {
+        // Bit-identical to in-process extraction...
+        let local = Extractor::new().extract(geo).expect("local extraction");
+        assert_bit_identical(reply, &local, &format!("batch entry {i}"));
+        // ...and to the single-shot wire op.
+        let single = client.extract(geo, &ExtractOptions::default()).expect("single");
+        for r in 0..reply.dim() {
+            for c in 0..reply.dim() {
+                assert_eq!(reply.get(r, c).to_bits(), single.get(r, c).to_bits());
+            }
+        }
+    }
+    // An empty batch frame is fine.
+    let empty = client.extract_batch(&[], &ExtractOptions::default()).expect("empty batch");
+    assert!(empty.is_empty());
+    // A frame with a failing geometry reports its index and fails whole.
+    let mut with_bad = geometries.clone();
+    with_bad.insert(1, Geometry::new(vec![]));
+    match client.extract_batch(&with_bad, &ExtractOptions::default()) {
+        // An empty geometry is caught at the parse stage (`geometry`
+        // code); either stage must name the failing index.
+        Err(ServeError::Remote { code, message }) => {
+            assert!(code == "geometry" || code == "extraction", "{code}: {message}");
+            assert!(message.contains("geometry 1"), "{message}");
+        }
+        other => panic!("expected remote error, got {other:?}"),
+    }
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean daemon exit");
+}
+
+#[test]
+fn overloaded_daemon_answers_busy_and_recovers() {
+    use std::time::{Duration, Instant};
+    // One worker, one queue slot, no coalescing: the third concurrent
+    // request must be refused with a structured `busy` error.
+    let server = spawn_server(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_depth: 1,
+        coalesce_limit: 1,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    let slow_geo = structures::bus_crossing(3, 3, structures::BusParams::default());
+    let wait_geo = structures::crossing_wires(structures::CrossingParams::default());
+
+    // Occupy the worker with a long extraction on its own connection.
+    let slow = {
+        let geo = slow_geo.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("slow client connect");
+            c.extract(&geo, &ExtractOptions::default()).expect("slow extraction succeeds")
+        })
+    };
+    let mut probe = Client::connect(addr).expect("probe connect");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let s = probe.stats().expect("stats");
+        if s.running >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "slow job never started running");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Fill the single queue slot from a second connection.
+    let queued = {
+        let geo = wait_geo.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("queued client connect");
+            c.extract(&geo, &ExtractOptions::default()).expect("queued extraction succeeds")
+        })
+    };
+    loop {
+        let s = probe.stats().expect("stats");
+        if s.queued >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "second job never queued");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Worker busy + queue full: the probe's extraction must be refused
+    // immediately with the busy code, not block.
+    match probe.extract(&wait_geo, &ExtractOptions::default()) {
+        Err(ServeError::Remote { code, message }) => {
+            assert_eq!(code, "busy");
+            assert!(message.contains("queue depth 1"), "{message}");
+        }
+        other => panic!("expected busy rejection, got {other:?}"),
+    }
+
+    // Both in-flight requests finish normally and bit-identically.
+    let slow_reply = slow.join().expect("slow thread");
+    let queued_reply = queued.join().expect("queued thread");
+    assert_bit_identical(
+        &slow_reply,
+        &Extractor::new().extract(&slow_geo).expect("local slow"),
+        "slow request",
+    );
+    assert_bit_identical(
+        &queued_reply,
+        &Extractor::new().extract(&wait_geo).expect("local queued"),
+        "queued request",
+    );
+
+    // The rejection shows up in the daemon's executor counters, and the
+    // daemon keeps serving afterwards.
+    let stats = probe.stats().expect("stats after storm");
+    assert!(stats.exec.rejected >= 1, "rejection must be counted: {:?}", stats.exec);
+    assert_eq!(stats.queue_depth, 1);
+    let after = probe.extract(&wait_geo, &ExtractOptions::default()).expect("daemon recovered");
+    assert!(after.dim() > 0);
+    probe.shutdown().expect("shutdown");
+    server.join().expect("clean daemon exit");
+}
+
+#[test]
+fn concurrent_same_config_requests_coalesce() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    // Single worker and a wide window: while one request runs, the
+    // others pile up and must merge into shared micro-batches.
+    let server = spawn_server(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        coalesce_limit: 16,
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+    let coalesced = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let coalesced = Arc::clone(&coalesced);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let geo = structures::crossing_wires(structures::CrossingParams::default());
+                for _ in 0..6 {
+                    let reply = client.extract(&geo, &ExtractOptions::default()).expect("extract");
+                    coalesced.fetch_add(usize::from(reply.coalesced), Ordering::Relaxed);
+                    let local = Extractor::new().extract(&geo).expect("local");
+                    assert_bit_identical(&reply, &local, &format!("client {t}"));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let mut client = Client::connect(addr).expect("connect for stats");
+    let stats = client.stats().expect("stats");
+    // 4 clients x 6 identical-config requests against one worker: some
+    // of them must have shared a micro-batch (the executor only merges
+    // requests that were concurrently waiting, which this storm forces).
+    assert!(
+        stats.exec.coalesced > 0,
+        "no coalescing under a 4-client identical-config storm: {:?}",
+        stats.exec
+    );
+    assert_eq!(stats.exec.coalesced, coalesced.load(Ordering::Relaxed));
+    assert!(stats.exec.coalescing_ratio() > 1.0);
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean daemon exit");
+}
+
+#[test]
 fn non_default_methods_run_through_the_daemon() {
     let server = default_server();
     let mut client = Client::connect(server.addr()).expect("connect");
