@@ -98,11 +98,14 @@ impl Default for ExecConfig {
 }
 
 /// Coalescing identity: submissions may share a micro-batch only when
-/// the full solver configuration is bit-identical and they use the same
-/// cache instance (pointer identity; `0` = caching off).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// the full solver configuration digest — common knobs plus the active
+/// backend's typed config ([`Extractor::config_digest`]) — is
+/// bit-identical and they use the same cache instance (pointer identity;
+/// `0` = caching off). Differing backend configs therefore cannot share
+/// a micro-batch *by construction*.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CoalesceKey {
-    config: [u64; 14],
+    config: Vec<u64>,
     cache: usize,
 }
 
@@ -293,7 +296,7 @@ impl Executor {
         }
         let n = jobs.len();
         let key = CoalesceKey {
-            config: extractor.config_bits(),
+            config: extractor.config_digest(),
             cache: cache.as_ref().map_or(0, |c| Arc::as_ptr(c) as usize),
         };
         let cfg = self.shared.cfg;
@@ -330,7 +333,7 @@ impl Executor {
             MicroBatch {
                 extractor: extractor.clone(),
                 cache,
-                key,
+                key: key.clone(),
                 jobs: n,
                 submissions: vec![sub],
             },
@@ -414,8 +417,9 @@ fn run_micro_batch(shared: &Arc<Shared>, seq: u64, worker: usize) {
 }
 
 /// One job: the sequential-setup instantiable path goes through the
-/// shared engine and cache; everything else (mesh-based baselines, and
-/// instantiable extractors that asked for within-job
+/// shared engine and cache; everything else (mesh-based baselines —
+/// including whatever [`Method::Auto`] resolves to for this geometry —
+/// and instantiable extractors that asked for within-job
 /// [`crate::extraction::Parallelism`]) runs the one-at-a-time extractor
 /// unchanged — bit-identical to [`Extractor::extract`] by construction
 /// in every case.
@@ -425,6 +429,9 @@ pub(crate) fn run_job(
     cache: Option<&TemplateCache>,
     geo: &Geometry,
 ) -> Result<(Extraction, CacheStats), CoreError> {
+    // Dispatch on the *configured* method: `Auto` only ever resolves to
+    // mesh-based backends, so it always takes the extractor path, and
+    // resolution (which sizes a mesh) stays inside the one `extract`.
     match extractor.method_kind() {
         Method::InstantiableBasis if extractor.is_sequential_setup() => {
             extract_instantiable_cached(extractor, engine, cache, geo)
@@ -449,11 +456,14 @@ fn extract_instantiable_cached(
         return Err(CoreError::EmptyGeometry);
     }
     let names: Vec<String> = geo.conductors().iter().map(|c| c.name().to_string()).collect();
+    // Setup timing matches `Extractor::extract`: instantiation and
+    // indexing are part of the system-setup step, so the same request
+    // reports the same split whether it runs direct or on the executor.
+    let start = Instant::now();
     let set = instantiate(geo, extractor.instantiate_cfg())?;
     let index = TemplateIndex::new(&set);
     let n_cond = geo.conductor_count();
 
-    let start = Instant::now();
     let scale = assembly::kernel_scale(geo.eps_rel());
     let n = index.basis_count();
     let mut p = Matrix::zeros(n, n);
@@ -493,6 +503,7 @@ fn extract_instantiable_cached(
             setup_seconds,
             solve_seconds,
             memory_bytes: memory,
+            krylov: None,
         },
     );
     Ok((extraction, stats))
@@ -670,6 +681,40 @@ mod tests {
             assert_eq!(sub.micro_batch_jobs, 2);
         }
         assert_eq!(exec.stats().micro_batches, 2);
+    }
+
+    #[test]
+    fn backend_config_differences_never_coalesce_but_equal_configs_do() {
+        use bemcap_linalg::{KrylovConfig, PrecondKind};
+        // Same method, same geometry, deliberately concurrent: only the
+        // *backend* configuration differs. Tiny mesh keeps the jobs cheap.
+        let exec = Executor::new(ExecConfig { workers: 1, queue_depth: 16, coalesce_limit: 16 });
+        let gate = block_workers(&exec);
+        let base = Extractor::new().method(Method::PwcPfft).mesh_divisions(3);
+        let spacing = base
+            .clone()
+            .pfft_config(bemcap_pfft::PfftConfig { spacing_factor: 1.3, ..Default::default() });
+        let tol = base.clone().krylov_config(KrylovConfig { tol: 1e-8, ..Default::default() });
+        let precond = base.clone().preconditioner(PrecondKind::Identity);
+        let twin = base.clone();
+        let tickets: Vec<Ticket> = [&base, &spacing, &tol, &precond, &twin]
+            .iter()
+            .map(|ex| exec.submit(ex, None, vec![job(0.5e-6)]).expect("admitted"))
+            .collect();
+        release(1, &gate);
+        let subs: Vec<Submission> = tickets.into_iter().map(Ticket::wait).collect();
+        // The three tweaked configs each ran their own micro-batch...
+        assert_ne!(subs[0].micro_batch, subs[1].micro_batch, "pfft spacing must split");
+        assert_ne!(subs[0].micro_batch, subs[2].micro_batch, "krylov tol must split");
+        assert_ne!(subs[0].micro_batch, subs[3].micro_batch, "preconditioner must split");
+        // ...while the bit-identical twin coalesced with the base.
+        assert_eq!(subs[0].micro_batch, subs[4].micro_batch, "equal configs must coalesce");
+        assert!(subs[4].coalesced);
+        assert_eq!(exec.stats().micro_batches, 4);
+        assert_eq!(exec.stats().coalesced, 1);
+        for sub in &subs {
+            assert!(sub.first_failure().is_none());
+        }
     }
 
     #[test]

@@ -1,16 +1,18 @@
 //! The public extraction API: [`Extractor`] → [`Extraction`].
 
-use bemcap_basis::instantiate::{instantiate, InstantiateConfig};
-use bemcap_basis::TemplateIndex;
-use bemcap_fmm::FmmSolver;
-use bemcap_geom::{Geometry, Mesh};
-use bemcap_linalg::Matrix;
+use bemcap_basis::instantiate::InstantiateConfig;
+use bemcap_fmm::FmmConfig;
+use bemcap_geom::Geometry;
+use bemcap_linalg::{KrylovConfig, Matrix, PrecondKind};
+use bemcap_pfft::PfftConfig;
 use bemcap_quad::galerkin::{GalerkinConfig, GalerkinEngine};
 
-use crate::assembly;
+use crate::backend::{
+    AutoBackend, Backend, DensePwcBackend, FmmBackend, InstantiableBackend, PfftBackend,
+    DEFAULT_AUTO_BUDGET,
+};
 use crate::error::CoreError;
 use crate::report::ExtractionReport;
-use crate::solver::{solve_capacitance, DensePwcSolver};
 
 /// Which solver backend to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +27,11 @@ pub enum Method {
     PwcFmm,
     /// Piecewise-constant Galerkin with the precorrected-FFT matvec.
     PwcPfft,
+    /// Pick a piecewise-constant backend per geometry from the panel
+    /// count and the configured memory budget
+    /// ([`Extractor::auto_memory_budget`]); see
+    /// [`crate::backend::AutoBackend::resolve`] for the policy.
+    Auto,
 }
 
 /// How the setup step executes (§5).
@@ -60,6 +67,11 @@ pub struct Extractor {
     instantiate_cfg: InstantiateConfig,
     galerkin_cfg: GalerkinConfig,
     mesh_divisions: usize,
+    fmm_cfg: FmmConfig,
+    pfft_cfg: PfftConfig,
+    krylov_cfg: KrylovConfig,
+    precond: PrecondKind,
+    auto_budget: usize,
 }
 
 impl Default for Extractor {
@@ -79,6 +91,11 @@ impl Extractor {
             instantiate_cfg: InstantiateConfig::default(),
             galerkin_cfg: GalerkinConfig::default(),
             mesh_divisions: 8,
+            fmm_cfg: FmmConfig::default(),
+            pfft_cfg: PfftConfig::default(),
+            krylov_cfg: KrylovConfig::default(),
+            precond: PrecondKind::default(),
+            auto_budget: DEFAULT_AUTO_BUDGET,
         }
     }
 
@@ -119,6 +136,42 @@ impl Extractor {
         self
     }
 
+    /// Tunes the multipole operator ([`Method::PwcFmm`] and the FMM arm
+    /// of [`Method::Auto`]): opening angle and octree leaf size.
+    pub fn fmm_config(mut self, cfg: FmmConfig) -> Extractor {
+        self.fmm_cfg = cfg;
+        self
+    }
+
+    /// Tunes the precorrected-FFT operator ([`Method::PwcPfft`] and the
+    /// pFFT arm of [`Method::Auto`]): grid spacing, near-stencil radius,
+    /// grid cap.
+    pub fn pfft_config(mut self, cfg: PfftConfig) -> Extractor {
+        self.pfft_cfg = cfg;
+        self
+    }
+
+    /// Sets the iterative caps (GMRES tolerance, restart length, matvec
+    /// cap) shared by the Krylov-backed backends.
+    pub fn krylov_config(mut self, cfg: KrylovConfig) -> Extractor {
+        self.krylov_cfg = cfg;
+        self
+    }
+
+    /// Picks the preconditioner the Krylov-backed backends build at
+    /// prepare time (default: Jacobi from the exact system diagonal).
+    pub fn preconditioner(mut self, kind: PrecondKind) -> Extractor {
+        self.precond = kind;
+        self
+    }
+
+    /// Sets the [`Method::Auto`] memory budget in bytes (default
+    /// [`DEFAULT_AUTO_BUDGET`]).
+    pub fn auto_memory_budget(mut self, bytes: usize) -> Extractor {
+        self.auto_budget = bytes;
+        self
+    }
+
     pub(crate) fn engine(&self) -> GalerkinEngine {
         let eng = GalerkinEngine::new(self.galerkin_cfg);
         if self.accelerated {
@@ -148,12 +201,64 @@ impl Extractor {
         self.parallelism == Parallelism::Sequential
     }
 
-    /// Bit-exact identity of the full solver configuration. Two
-    /// extractors with equal bits produce bit-identical results on the
+    /// The [`Backend`] this configuration dispatches to — the typed
+    /// description of what [`Extractor::extract`] will run.
+    /// [`Method::Auto`] returns the resolving backend
+    /// ([`crate::backend::AutoBackend`]); the concrete choice is made per
+    /// geometry at prepare time.
+    pub fn backend(&self) -> Box<dyn Backend> {
+        match self.method {
+            Method::InstantiableBasis => Box::new(InstantiableBackend {
+                instantiate: self.instantiate_cfg,
+                parallelism: self.parallelism,
+            }),
+            Method::PwcDense => Box::new(DensePwcBackend { mesh_divisions: self.mesh_divisions }),
+            Method::PwcFmm => Box::new(FmmBackend {
+                mesh_divisions: self.mesh_divisions,
+                config: self.fmm_cfg,
+                krylov: self.krylov_cfg,
+                precond: self.precond,
+            }),
+            Method::PwcPfft => Box::new(PfftBackend {
+                mesh_divisions: self.mesh_divisions,
+                config: self.pfft_cfg,
+                krylov: self.krylov_cfg,
+                precond: self.precond,
+            }),
+            Method::Auto => Box::new(self.auto_backend()),
+        }
+    }
+
+    fn auto_backend(&self) -> AutoBackend {
+        AutoBackend {
+            mesh_divisions: self.mesh_divisions,
+            memory_budget: self.auto_budget,
+            fmm: self.fmm_cfg,
+            pfft: self.pfft_cfg,
+            krylov: self.krylov_cfg,
+            precond: self.precond,
+        }
+    }
+
+    /// The [`Method`] that will actually run on `geo`: the configured one,
+    /// with [`Method::Auto`] resolved through its panel-count/memory
+    /// policy (deterministic per geometry and configuration).
+    pub fn resolved_method(&self, geo: &Geometry) -> Method {
+        match self.method {
+            Method::Auto => self.auto_backend().resolve(geo),
+            m => m,
+        }
+    }
+
+    /// Bit-exact identity of the full solver configuration, including the
+    /// active backend's typed config ([`Backend::digest`]). Two
+    /// extractors with equal digests produce bit-identical results on the
     /// same geometry, which is what licenses the executor to coalesce
     /// their jobs into one shared micro-batch (`f64` fields compare by
-    /// bit pattern, so even `-0.0` vs `0.0` keeps configs apart).
-    pub(crate) fn config_bits(&self) -> [u64; 14] {
+    /// bit pattern, so even `-0.0` vs `0.0` keeps configs apart);
+    /// extractors differing in any behavior-affecting knob — a pFFT grid
+    /// spacing, an FMM tolerance, a preconditioner — can never share one.
+    pub fn config_digest(&self) -> Vec<u64> {
         let g = &self.galerkin_cfg;
         let ic = &self.instantiate_cfg;
         let parallelism = match self.parallelism {
@@ -161,12 +266,13 @@ impl Extractor {
             Parallelism::Threads(n) => (1 << 32) | n as u64,
             Parallelism::MessagePassing(n) => (2 << 32) | n as u64,
         };
-        [
+        let mut words = vec![
             match self.method {
                 Method::InstantiableBasis => 0,
                 Method::PwcDense => 1,
                 Method::PwcFmm => 2,
                 Method::PwcPfft => 3,
+                Method::Auto => 4,
             },
             parallelism,
             u64::from(self.accelerated),
@@ -181,10 +287,15 @@ impl Extractor {
             g.mid_order as u64,
             g.touch_subdiv as u64,
             g.shape_order as u64,
-        ]
+        ];
+        self.backend().digest(&mut words);
+        words
     }
 
-    /// Runs the extraction.
+    /// Runs the extraction: resolves the backend, times its prepare
+    /// (system setup) and solve (system solving) steps, and reports what
+    /// actually ran (resolved method name, real worker count, Krylov
+    /// stats for iterative backends).
     ///
     /// # Errors
     ///
@@ -196,114 +307,32 @@ impl Extractor {
             return Err(CoreError::EmptyGeometry);
         }
         let names: Vec<String> = geo.conductors().iter().map(|c| c.name().to_string()).collect();
-        match self.method {
-            Method::InstantiableBasis => self.extract_instantiable(geo, names),
-            Method::PwcDense => {
-                let mesh = Mesh::uniform(geo, self.mesh_divisions);
-                let t = std::time::Instant::now();
-                let c = DensePwcSolver.solve(geo, &mesh)?;
-                let seconds = t.elapsed().as_secs_f64();
-                Ok(Extraction {
-                    capacitance: CapacitanceMatrix { names, c },
-                    report: ExtractionReport {
-                        method: "pwc-dense".into(),
-                        n: mesh.panel_count(),
-                        m_templates: None,
-                        workers: 1,
-                        setup_seconds: seconds,
-                        solve_seconds: 0.0,
-                        memory_bytes: mesh.panel_count() * mesh.panel_count() * 8,
-                    },
-                })
-            }
-            Method::PwcFmm => {
-                let mesh = Mesh::uniform(geo, self.mesh_divisions);
-                let sol = FmmSolver::default().solve(geo, &mesh)?;
-                Ok(Extraction {
-                    capacitance: CapacitanceMatrix { names, c: sol.capacitance },
-                    report: ExtractionReport {
-                        method: "pwc-fmm".into(),
-                        n: sol.panel_count,
-                        m_templates: None,
-                        workers: 1,
-                        setup_seconds: sol.setup_seconds,
-                        solve_seconds: sol.solve_seconds,
-                        memory_bytes: sol.memory_bytes,
-                    },
-                })
-            }
-            Method::PwcPfft => {
-                let mesh = Mesh::uniform(geo, self.mesh_divisions);
-                let t = std::time::Instant::now();
-                let op = bemcap_pfft::PfftOperator::new(
-                    &mesh,
-                    geo.eps_rel(),
-                    bemcap_pfft::PfftConfig::default(),
-                )?;
-                let setup_seconds = t.elapsed().as_secs_f64();
-                let memory = op.memory_bytes();
-                drop(op);
-                let t = std::time::Instant::now();
-                let c = bemcap_pfft::operator::solve_capacitance(
-                    geo,
-                    &mesh,
-                    bemcap_pfft::PfftConfig::default(),
-                    1e-6,
-                    40,
-                    600,
-                )?;
-                let solve_seconds = t.elapsed().as_secs_f64();
-                Ok(Extraction {
-                    capacitance: CapacitanceMatrix { names, c },
-                    report: ExtractionReport {
-                        method: "pwc-pfft".into(),
-                        n: mesh.panel_count(),
-                        m_templates: None,
-                        workers: 1,
-                        setup_seconds,
-                        solve_seconds,
-                        memory_bytes: memory,
-                    },
-                })
-            }
-        }
-    }
-
-    fn extract_instantiable(
-        &self,
-        geo: &Geometry,
-        names: Vec<String>,
-    ) -> Result<Extraction, CoreError> {
-        let eng = self.engine();
-        let set = instantiate(geo, &self.instantiate_cfg)?;
-        let index = TemplateIndex::new(&set);
-        let n_cond = geo.conductor_count();
-        let (asm, workers) = match self.parallelism {
-            Parallelism::Sequential => {
-                (assembly::assemble_sequential(&eng, &index, &set, n_cond, geo.eps_rel()), 1)
-            }
-            Parallelism::Threads(t) => {
-                let (a, _) =
-                    assembly::assemble_threaded(&eng, &index, &set, n_cond, geo.eps_rel(), t);
-                (a, t)
-            }
-            Parallelism::MessagePassing(r) => {
-                (assembly::assemble_distributed(&eng, &index, &set, n_cond, geo.eps_rel(), r), r)
-            }
-        };
-        let n = index.basis_count();
-        let memory = asm.p.memory_bytes() + asm.phi.memory_bytes();
-        let (c, solve_seconds) = solve_capacitance(asm.p, &asm.phi)?;
+        let backend = self.backend();
+        let engine = self.engine();
+        let t = std::time::Instant::now();
+        let prepared = backend.prepare(&engine, geo)?;
+        let setup_seconds = t.elapsed().as_secs_f64();
+        let (method, n, m_templates, workers, memory_bytes) = (
+            prepared.method_name().to_string(),
+            prepared.n(),
+            prepared.m_templates(),
+            prepared.workers(),
+            prepared.memory_bytes(),
+        );
+        let t = std::time::Instant::now();
+        let out = prepared.solve()?;
+        let solve_seconds = t.elapsed().as_secs_f64();
         Ok(Extraction {
-            capacitance: CapacitanceMatrix { names, c },
+            capacitance: CapacitanceMatrix { names, c: out.capacitance },
             report: ExtractionReport {
-                method: "instantiable".into(),
+                method,
                 n,
-                m_templates: Some(index.template_count()),
+                m_templates,
                 workers,
-                setup_seconds: asm.seconds,
+                setup_seconds,
                 solve_seconds,
-                memory_bytes: memory,
+                memory_bytes,
+                krylov: out.krylov.map(Into::into),
             },
         })
     }

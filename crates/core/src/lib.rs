@@ -33,6 +33,7 @@
 //! ```
 
 pub mod assembly;
+pub mod backend;
 pub mod batch;
 pub mod cache;
 pub mod error;
@@ -42,11 +43,21 @@ pub mod report;
 pub mod solver;
 pub mod sweep;
 
+pub use backend::{
+    AutoBackend, Backend, DensePwcBackend, FmmBackend, InstantiableBackend, PfftBackend,
+    PreparedSystem, SolveOutput,
+};
 pub use batch::{BatchExtractor, BatchJob, BatchPoint, BatchResult};
 pub use cache::TemplateCache;
 pub use error::CoreError;
 pub use exec::{ExecConfig, Executor, JobOutcome, Submission, Ticket};
 pub use extraction::{CapacitanceMatrix, Extraction, Extractor, Method};
-pub use report::{BatchReport, CacheStats, ExecStats, ExtractionReport, JobReport};
+pub use report::{BatchReport, CacheStats, ExecStats, ExtractionReport, JobReport, SolverStats};
 
+// The typed backend configurations, re-exported so downstream layers
+// (`bemcap-serve`, benches, applications) configure backends without
+// depending on the solver crates directly.
+pub use bemcap_fmm::FmmConfig;
 pub use bemcap_geom::Geometry;
+pub use bemcap_linalg::{KrylovConfig, PrecondKind};
+pub use bemcap_pfft::PfftConfig;

@@ -1,12 +1,44 @@
 //! Extraction performance records (the raw material of Tables 2 and 3).
 
+use bemcap_linalg::KrylovStats;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Iterative-solver counters of one extraction, aggregated over every
+/// right-hand side (one GMRES solve per conductor): present for the
+/// Krylov-backed backends (`pwc-fmm`, `pwc-pfft`), absent for direct
+/// solves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolverStats {
+    /// Total Krylov iterations (matrix-vector products).
+    pub iterations: usize,
+    /// Total GMRES restarts (Arnoldi bases discarded and rebuilt).
+    pub restarts: usize,
+    /// Worst final relative residual across the right-hand sides.
+    pub residual: f64,
+}
+
+impl From<KrylovStats> for SolverStats {
+    fn from(s: KrylovStats) -> SolverStats {
+        SolverStats { iterations: s.matvecs, restarts: s.restarts, residual: s.residual }
+    }
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} iterations ({} restarts), residual {:.2e}",
+            self.iterations, self.restarts, self.residual
+        )
+    }
+}
 
 /// Performance record of one extraction run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExtractionReport {
     /// Method name ("instantiable", "pwc-dense", "pwc-fmm", "pwc-pfft").
+    /// `Method::Auto` reports the name of the backend it resolved to.
     pub method: String,
     /// System dimension N (basis functions or panels).
     pub n: usize,
@@ -21,6 +53,8 @@ pub struct ExtractionReport {
     /// Estimated peak solver memory in bytes (system matrix + solver
     /// workspace or operator storage).
     pub memory_bytes: usize,
+    /// Krylov counters for iterative backends (`None` for direct solves).
+    pub krylov: Option<SolverStats>,
 }
 
 impl ExtractionReport {
@@ -36,6 +70,28 @@ impl ExtractionReport {
             return 0.0;
         }
         self.setup_seconds / self.total_seconds()
+    }
+}
+
+impl fmt::Display for ExtractionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: N={}", self.method, self.n)?;
+        if let Some(m) = self.m_templates {
+            write!(f, " (M={m} templates)")?;
+        }
+        write!(
+            f,
+            ", {} workers, setup {:.3} s ({:.0} %), solve {:.3} s, {:.1} MiB",
+            self.workers,
+            self.setup_seconds,
+            100.0 * self.setup_fraction(),
+            self.solve_seconds,
+            self.memory_bytes as f64 / (1 << 20) as f64
+        )?;
+        if let Some(k) = &self.krylov {
+            write!(f, ", krylov {k}")?;
+        }
+        Ok(())
     }
 }
 
@@ -242,6 +298,7 @@ mod tests {
             setup_seconds: 9.5,
             solve_seconds: 0.5,
             memory_bytes: 80_000,
+            krylov: None,
         };
         assert!((r.total_seconds() - 10.0).abs() < 1e-12);
         assert!((r.setup_fraction() - 0.95).abs() < 1e-12);
@@ -257,6 +314,7 @@ mod tests {
             setup_seconds: 0.0,
             solve_seconds: 0.0,
             memory_bytes: 0,
+            krylov: None,
         };
         assert_eq!(r.setup_fraction(), 0.0);
     }
@@ -271,10 +329,43 @@ mod tests {
             setup_seconds: 1.0,
             solve_seconds: 2.0,
             memory_bytes: 42,
+            krylov: Some(SolverStats { iterations: 80, restarts: 1, residual: 4.2e-7 }),
         };
         // serde round trip through the derived impls (format-agnostic).
         let cloned = r.clone();
         assert_eq!(r, cloned);
+    }
+
+    #[test]
+    fn extraction_report_display_shows_split_and_krylov() {
+        let mut r = ExtractionReport {
+            method: "pwc-pfft".into(),
+            n: 640,
+            m_templates: None,
+            workers: 1,
+            setup_seconds: 0.8,
+            solve_seconds: 0.2,
+            memory_bytes: 3 << 20,
+            krylov: Some(SolverStats { iterations: 123, restarts: 2, residual: 7.5e-7 }),
+        };
+        let s = format!("{r}");
+        assert!(s.contains("pwc-pfft") && s.contains("N=640"), "{s}");
+        assert!(s.contains("setup 0.800 s (80 %)") && s.contains("solve 0.200 s"), "{s}");
+        assert!(s.contains("123 iterations (2 restarts)") && s.contains("7.50e-7"), "{s}");
+        r.krylov = None;
+        r.m_templates = Some(900);
+        r.method = "instantiable".into();
+        let s = format!("{r}");
+        assert!(!s.contains("krylov"), "{s}");
+        assert!(s.contains("(M=900 templates)"), "{s}");
+    }
+
+    #[test]
+    fn solver_stats_from_krylov_stats() {
+        let s: SolverStats =
+            bemcap_linalg::KrylovStats { matvecs: 42, restarts: 3, residual: 1.5e-8 }.into();
+        assert_eq!((s.iterations, s.restarts), (42, 3));
+        assert!(format!("{s}").contains("42 iterations (3 restarts)"));
     }
 
     #[test]

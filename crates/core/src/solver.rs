@@ -65,6 +65,21 @@ impl DensePwcSolver {
         mesh: &Mesh,
         workers: usize,
     ) -> Result<Matrix, CoreError> {
+        let (p, phi) = self.assemble_system(geo, mesh, workers);
+        let (c, _) = solve_capacitance(p, &phi)?;
+        Ok(c)
+    }
+
+    /// The system-setup step alone: assembles the dense panel matrix `P`
+    /// (upper triangle over the Algorithm-1 static partition, merged in
+    /// worker order — bit-identical to the serial loop at any worker
+    /// count) and the conductor incidence matrix `Φ`. The backend layer
+    /// prepares here and solves later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn assemble_system(&self, geo: &Geometry, mesh: &Mesh, workers: usize) -> (Matrix, Matrix) {
         let eng = GalerkinEngine::default();
         let scale = 1.0 / (4.0 * std::f64::consts::PI * geo.eps());
         let n = mesh.panel_count();
@@ -105,8 +120,7 @@ impl DensePwcSolver {
         for (i, mp) in mesh.panels().iter().enumerate() {
             phi.set(i, mp.conductor, mp.panel.area());
         }
-        let (c, _) = solve_capacitance(p, &phi)?;
-        Ok(c)
+        (p, phi)
     }
 }
 

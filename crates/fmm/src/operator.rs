@@ -140,6 +140,12 @@ impl FmmOperator {
         &self.areas
     }
 
+    /// Inverse of the exact system diagonal — the Jacobi preconditioner
+    /// the solver builds by default.
+    pub fn inv_diag(&self) -> &[f64] {
+        &self.inv_diag
+    }
+
     /// The octree (shape input for the parallel cost model).
     pub fn tree(&self) -> &Octree {
         &self.tree

@@ -4,7 +4,9 @@
 use std::time::Instant;
 
 use bemcap_geom::{Geometry, Mesh};
-use bemcap_linalg::{gmres, LinearOperator, Matrix};
+use bemcap_linalg::{
+    gmres_grouped, DiagonalPrecond, KrylovConfig, KrylovStats, Matrix, Preconditioner,
+};
 
 use crate::error::FmmError;
 use crate::operator::{FmmConfig, FmmOperator, MatvecTimings};
@@ -48,7 +50,14 @@ pub struct FmmSolution {
 }
 
 impl FmmSolver {
-    /// Extracts the capacitance matrix of `geo` discretized by `mesh`.
+    /// The iterative-solver caps as a [`KrylovConfig`].
+    pub fn krylov_config(&self) -> KrylovConfig {
+        KrylovConfig { tol: self.tol, restart: self.restart, max_iters: self.max_iters }
+    }
+
+    /// Extracts the capacitance matrix of `geo` discretized by `mesh`:
+    /// builds the operator, then runs [`FmmSolver::solve_prepared`] under
+    /// the operator's Jacobi (diagonal) preconditioner.
     ///
     /// # Errors
     ///
@@ -58,37 +67,43 @@ impl FmmSolver {
         let t0 = Instant::now();
         let op = FmmOperator::new(mesh, geo.eps_rel(), self.config)?;
         let setup_seconds = t0.elapsed().as_secs_f64();
-        let n_cond = geo.conductor_count();
-        let n = op.dim();
-        let mut capacitance = Matrix::zeros(n_cond, n_cond);
-        let mut total_matvecs = 0;
+        let pre = DiagonalPrecond::new(op.inv_diag().to_vec());
         let t1 = Instant::now();
-        for k in 0..n_cond {
-            // Galerkin RHS: ∫ψ_i φ ds = A_i on conductor k, 0 elsewhere.
-            let rhs: Vec<f64> = mesh
-                .panels()
-                .iter()
-                .zip(op.areas())
-                .map(|(p, &a)| if p.conductor == k { a } else { 0.0 })
-                .collect();
-            let (rho, stats) = gmres(&op, &rhs, self.restart, self.tol, self.max_iters)?;
-            total_matvecs += stats.matvecs;
-            // C_lk = Σ_{i on l} A_i ρ_i.
-            for (i, p) in mesh.panels().iter().enumerate() {
-                capacitance.add_to(p.conductor, k, op.areas()[i] * rho[i]);
-            }
-            let _ = n; // dimension retained for clarity
-        }
+        let (capacitance, stats) = self.solve_prepared(&op, mesh, geo.conductor_count(), &pre)?;
         let solve_seconds = t1.elapsed().as_secs_f64();
         Ok(FmmSolution {
             capacitance,
             panel_count: mesh.panel_count(),
-            total_matvecs,
+            total_matvecs: stats.matvecs,
             setup_seconds,
             solve_seconds,
             memory_bytes: op.memory_bytes(),
             matvec_timings: op.timings(),
         })
+    }
+
+    /// The solve step on an already-built operator — one conductor RHS per
+    /// GMRES solve through the shared [`gmres_grouped`] driver
+    /// (`bemcap_linalg`). Lets callers that prepared the operator
+    /// themselves (the `bemcap-core` backend layer) reuse it instead of
+    /// rebuilding, and pick the preconditioner.
+    ///
+    /// # Errors
+    ///
+    /// * [`FmmError::Solve`] if GMRES fails to converge or shapes mismatch.
+    pub fn solve_prepared(
+        &self,
+        op: &FmmOperator,
+        mesh: &Mesh,
+        n_cond: usize,
+        pre: &dyn Preconditioner,
+    ) -> Result<(Matrix, KrylovStats), FmmError> {
+        // Galerkin RHS: ∫ψ_i φ ds = A_i on conductor k, 0 elsewhere;
+        // C_lk = Σ_{i on l} A_i ρ_i — the grouped quadratic form.
+        let conductor_of: Vec<usize> = mesh.panels().iter().map(|p| p.conductor).collect();
+        let (c, stats) =
+            gmres_grouped(op, pre, op.areas(), &conductor_of, n_cond, &self.krylov_config())?;
+        Ok((c, stats))
     }
 
     /// The §6 reference loop: starting from `mesh`, refine the

@@ -31,7 +31,11 @@ pub mod qr;
 
 pub use cholesky::CholeskyFactor;
 pub use error::LinalgError;
-pub use krylov::{cg, gmres, DenseOperator, KrylovStats, LinearOperator};
+pub use krylov::{
+    cg, gmres, gmres_grouped, gmres_with, BlockJacobiPrecond, DenseOperator, DiagonalPrecond,
+    IdentityPrecond, KrylovConfig, KrylovStats, LinearOperator, OperatorPrecond, PrecondKind,
+    Preconditioner,
+};
 pub use lu::LuFactor;
 pub use matrix::Matrix;
 pub use qr::{least_squares, QrFactor};

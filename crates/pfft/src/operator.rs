@@ -4,7 +4,10 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use bemcap_geom::{Geometry, Mesh, Point3, EPS0};
-use bemcap_linalg::{gmres, LinearOperator, Matrix};
+use bemcap_linalg::{
+    gmres_grouped, DiagonalPrecond, KrylovConfig, KrylovStats, LinearOperator, Matrix,
+    Preconditioner,
+};
 use bemcap_quad::galerkin::{GalerkinEngine, PanelShape};
 
 use crate::error::PfftError;
@@ -175,6 +178,12 @@ impl PfftOperator {
         &self.areas
     }
 
+    /// Inverse of the exact system diagonal — the Jacobi preconditioner
+    /// the solver builds by default.
+    pub fn inv_diag(&self) -> &[f64] {
+        &self.inv_diag
+    }
+
     /// The grid (shape input for the parallel cost model).
     pub fn grid(&self) -> &Grid {
         &self.grid
@@ -268,7 +277,29 @@ impl LinearOperator for PfftOperator {
     }
 }
 
-/// Full capacitance extraction with the pFFT operator and GMRES.
+/// The solve step on an already-built operator — one conductor RHS per
+/// GMRES solve through the shared [`gmres_grouped`] driver
+/// (`bemcap_linalg`). The `bemcap-core` backend layer prepares the
+/// operator once and solves here, so construction is never duplicated.
+///
+/// # Errors
+///
+/// Propagates Krylov errors ([`PfftError::Solve`]).
+pub fn solve_prepared(
+    op: &PfftOperator,
+    mesh: &Mesh,
+    n_cond: usize,
+    pre: &dyn Preconditioner,
+    krylov: &KrylovConfig,
+) -> Result<(Matrix, KrylovStats), PfftError> {
+    let conductor_of: Vec<usize> = mesh.panels().iter().map(|p| p.conductor).collect();
+    let (c, stats) = gmres_grouped(op, pre, op.areas(), &conductor_of, n_cond, krylov)?;
+    Ok((c, stats))
+}
+
+/// Full capacitance extraction with the pFFT operator and GMRES: builds
+/// the operator, then runs [`solve_prepared`] under the operator's Jacobi
+/// (diagonal) preconditioner.
 ///
 /// # Errors
 ///
@@ -282,21 +313,10 @@ pub fn solve_capacitance(
     max_iters: usize,
 ) -> Result<Matrix, PfftError> {
     let op = PfftOperator::new(mesh, geo.eps_rel(), cfg)?;
-    let n_cond = geo.conductor_count();
-    let mut capacitance = Matrix::zeros(n_cond, n_cond);
-    for k in 0..n_cond {
-        let rhs: Vec<f64> = mesh
-            .panels()
-            .iter()
-            .zip(op.areas())
-            .map(|(p, &a)| if p.conductor == k { a } else { 0.0 })
-            .collect();
-        let (rho, _) = gmres(&op, &rhs, restart, tol, max_iters)?;
-        for (i, p) in mesh.panels().iter().enumerate() {
-            capacitance.add_to(p.conductor, k, op.areas()[i] * rho[i]);
-        }
-    }
-    Ok(capacitance)
+    let pre = DiagonalPrecond::new(op.inv_diag().to_vec());
+    let krylov = KrylovConfig { tol, restart, max_iters };
+    let (c, _) = solve_prepared(&op, mesh, geo.conductor_count(), &pre, &krylov)?;
+    Ok(c)
 }
 
 #[cfg(test)]

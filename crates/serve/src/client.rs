@@ -8,14 +8,15 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use bemcap_core::{CacheStats, ExecStats};
+use bemcap_core::{CacheStats, ExecStats, SolverStats};
 use bemcap_geom::io::write_geometry;
 use bemcap_geom::Geometry;
 use serde_json::Value;
 
 use crate::error::ServeError;
 use crate::protocol::{
-    self, cache_stats_from_value, encode_request, exec_stats_from_value, ExtractOptions, Request,
+    self, cache_stats_from_value, encode_request, exec_stats_from_value, solver_stats_from_value,
+    ExtractOptions, Request,
 };
 
 /// A blocking connection to a running `bemcapd`.
@@ -44,14 +45,22 @@ pub struct ExtractReply {
     /// Row-major capacitance matrix (farad), bit-identical to the
     /// daemon-side computation.
     pub matrix: Vec<Vec<f64>>,
-    /// Solver backend that ran ("instantiable", "pwc-dense", ...).
+    /// Solver backend that ran ("instantiable", "pwc-dense", ...) — for
+    /// `auto` requests, the backend the daemon resolved to.
     pub method: String,
     /// System dimension N.
     pub n: usize,
+    /// Workers the daemon's setup step used (1 when a pre-v3 daemon
+    /// omitted the field — tolerated only for requests that carry no
+    /// typed backend options; see [`Client::extract`]).
+    pub workers: usize,
     /// Daemon-side setup seconds.
     pub setup_seconds: f64,
     /// Daemon-side solve seconds.
     pub solve_seconds: f64,
+    /// Iterative-solver counters (iterations, restarts, residual) for
+    /// Krylov backends; `None` for direct solves and pre-v3 daemons.
+    pub solver: Option<SolverStats>,
     /// Pair-integral cache counters of this request.
     pub cache: CacheStats,
     /// Seconds the request waited in the daemon's admission queue before
@@ -156,8 +165,14 @@ fn decode_extract_result(result: &Value) -> Result<ExtractReply, ServeError> {
             .to_string(),
         n: report.get("n").and_then(Value::as_u64).ok_or_else(|| proto_err("report missing 'n'"))?
             as usize,
+        // Additive v3 fields: lenient decode so older daemons still work.
+        workers: report.get("workers").and_then(Value::as_u64).unwrap_or(1) as usize,
         setup_seconds: report.get("setup_seconds").and_then(Value::as_f64).unwrap_or(0.0),
         solve_seconds: report.get("solve_seconds").and_then(Value::as_f64).unwrap_or(0.0),
+        solver: match report.get("solver") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(solver_stats_from_value(v).map_err(|e| proto_err(e.message))?),
+        },
         cache,
         queue_seconds: 0.0,
         coalesced: false,
@@ -191,6 +206,42 @@ fn take_field(v: Value, key: &str) -> Option<Value> {
     }
 }
 
+/// Whether the request relies on protocol-v3 typed backend fields that a
+/// pre-v3 daemon would silently ignore. (`method: auto` needs no guard —
+/// older daemons reject the unknown method name outright.)
+fn uses_typed_backend_options(options: &ExtractOptions) -> bool {
+    options.fmm.is_some()
+        || options.pfft.is_some()
+        || options.krylov.is_some()
+        || options.precond.is_some()
+        || options.auto_budget.is_some()
+}
+
+/// Guards typed-option requests against pre-v3 daemons: such a daemon
+/// ignores the unknown config fields and solves with its defaults, which
+/// would hand back a matrix computed under a *different* configuration
+/// with no error. v3 daemons always emit `report.workers`, so its absence
+/// identifies the downgrade deterministically.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] when the report lacks the v3 marker.
+fn require_v3_report(result: &Value, options: &ExtractOptions) -> Result<(), ServeError> {
+    if !uses_typed_backend_options(options) {
+        return Ok(());
+    }
+    let has_marker = result.get("report").and_then(|r| r.get("workers")).is_some();
+    if has_marker {
+        Ok(())
+    } else {
+        Err(proto_err(
+            "daemon predates protocol v3 and would silently ignore the typed backend \
+             options (fmm/pfft/krylov/precond/auto_budget) — upgrade the daemon or \
+             drop the typed fields",
+        ))
+    }
+}
+
 impl Client {
     /// Connects to a daemon.
     ///
@@ -209,7 +260,10 @@ impl Client {
     /// # Errors
     ///
     /// [`ServeError::Remote`] for daemon-side failures, [`ServeError::Io`]
-    /// / [`ServeError::Protocol`] for transport problems.
+    /// / [`ServeError::Protocol`] for transport problems —
+    /// including when typed backend options (v3) are set but the daemon
+    /// predates protocol v3, which would otherwise silently solve under
+    /// its own defaults.
     pub fn extract(
         &mut self,
         geo: &Geometry,
@@ -235,6 +289,7 @@ impl Client {
             geometry: geometry.to_string(),
             options: *options,
         })?;
+        require_v3_report(&result, options)?;
         let mut reply = decode_extract_result(&result)?;
         apply_exec_info(&mut reply, result.get("exec"));
         Ok(reply)
@@ -269,6 +324,7 @@ impl Client {
             .ok_or_else(|| proto_err("batch response missing 'results'"))?;
         let mut replies = Vec::with_capacity(entries.len());
         for entry in entries {
+            require_v3_report(entry, options)?;
             let mut reply = decode_extract_result(entry)?;
             // The executor record is per submission: shared by the frame.
             apply_exec_info(&mut reply, result.get("exec"));

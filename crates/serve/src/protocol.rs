@@ -14,7 +14,9 @@
 //! value decoded by the client is **bit-identical** to the `f64` the
 //! engine produced — the property behind the daemon's determinism tests.
 
-use bemcap_core::{CacheStats, ExecStats, Method};
+use bemcap_core::{
+    CacheStats, ExecStats, FmmConfig, KrylovConfig, Method, PfftConfig, PrecondKind, SolverStats,
+};
 use serde_json::{json, Value};
 
 /// Protocol revision, reported by the `ping` op. Bump on any change to
@@ -24,7 +26,13 @@ use serde_json::{json, Value};
 /// version-1 client library's `ping` probe enforced exact equality and
 /// therefore refuses a v2 daemon; from v2 on, clients accept any daemon
 /// speaking at least their own version.
-pub const PROTOCOL_VERSION: u64 = 2;
+///
+/// Version 3 (additive): `extract`/`batch` accept the `auto` method and
+/// typed backend configuration fields (`fmm`, `pfft`, `krylov`,
+/// `precond`, `auto_budget`); result `report`s carry `workers` and, for
+/// iterative backends, a `solver` record (iterations, restarts,
+/// residual). Version-2 frames still decode unchanged.
+pub const PROTOCOL_VERSION: u64 = 3;
 
 /// Machine-readable error codes of structured error responses.
 pub mod codes {
@@ -90,8 +98,10 @@ pub enum Request {
 
 /// Solver configuration of an `extract` request. Every field has a
 /// server-side default, so `{"op":"extract","geometry":"..."}` is a
-/// complete request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// complete request. The typed backend fields (v3) are optional and
+/// additive: `None` means "the extractor's default", exactly as if the
+/// field were absent from the frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExtractOptions {
     /// Solver backend (default [`Method::InstantiableBasis`]).
     pub method: Method,
@@ -100,6 +110,16 @@ pub struct ExtractOptions {
     /// Mesh resolution for the piecewise-constant backends
     /// (`None` = the extractor's default).
     pub mesh_divisions: Option<usize>,
+    /// Multipole operator tuning (v3).
+    pub fmm: Option<FmmConfig>,
+    /// Precorrected-FFT operator tuning (v3).
+    pub pfft: Option<PfftConfig>,
+    /// Iterative caps shared by the Krylov backends (v3).
+    pub krylov: Option<KrylovConfig>,
+    /// Preconditioner choice for the Krylov backends (v3).
+    pub precond: Option<PrecondKind>,
+    /// `auto` method memory budget in bytes (v3).
+    pub auto_budget: Option<usize>,
 }
 
 impl Default for ExtractOptions {
@@ -108,6 +128,11 @@ impl Default for ExtractOptions {
             method: Method::InstantiableBasis,
             accelerated: false,
             mesh_divisions: None,
+            fmm: None,
+            pfft: None,
+            krylov: None,
+            precond: None,
+            auto_budget: None,
         }
     }
 }
@@ -138,13 +163,15 @@ impl WireError {
 }
 
 /// The wire name of a [`Method`] (matches the `method` strings of
-/// extraction reports).
+/// extraction reports; `auto` resolves server-side, so reports never
+/// carry it back).
 pub fn method_name(method: Method) -> &'static str {
     match method {
         Method::InstantiableBasis => "instantiable",
         Method::PwcDense => "pwc-dense",
         Method::PwcFmm => "pwc-fmm",
         Method::PwcPfft => "pwc-pfft",
+        Method::Auto => "auto",
     }
 }
 
@@ -155,6 +182,7 @@ pub fn parse_method(name: &str) -> Option<Method> {
         "pwc-dense" => Some(Method::PwcDense),
         "pwc-fmm" => Some(Method::PwcFmm),
         "pwc-pfft" => Some(Method::PwcPfft),
+        "auto" => Some(Method::Auto),
         _ => None,
     }
 }
@@ -222,6 +250,19 @@ fn decode_op(v: &Value, id: Option<u64>) -> Result<Request, WireError> {
     }
 }
 
+fn obj_f64(v: &Value, ctx: &str, name: &str) -> Result<f64, WireError> {
+    v.get(name)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| WireError::bad(format!("'{ctx}' needs a number '{name}' field")))
+}
+
+fn obj_uint(v: &Value, ctx: &str, name: &str) -> Result<usize, WireError> {
+    v.get(name)
+        .and_then(Value::as_u64)
+        .map(|n| n as usize)
+        .ok_or_else(|| WireError::bad(format!("'{ctx}' needs a non-negative integer '{name}'")))
+}
+
 /// Decodes the shared solver-option fields of `extract` and `batch`
 /// requests. Optional fields: absent and null both mean "use the
 /// default" (the encoder emits null for unset options).
@@ -231,7 +272,8 @@ fn decode_options(v: &Value) -> Result<ExtractOptions, WireError> {
         let name = m.as_str().ok_or_else(|| WireError::bad("'method' must be a string"))?;
         options.method = parse_method(name).ok_or_else(|| {
             WireError::bad(format!(
-                "unknown method '{name}' (expected instantiable, pwc-dense, pwc-fmm or pwc-pfft)"
+                "unknown method '{name}' \
+                 (expected instantiable, pwc-dense, pwc-fmm, pwc-pfft or auto)"
             ))
         })?;
     }
@@ -246,7 +288,87 @@ fn decode_options(v: &Value) -> Result<ExtractOptions, WireError> {
             .ok_or_else(|| WireError::bad("'mesh_divisions' must be a positive integer"))?;
         options.mesh_divisions = Some(n as usize);
     }
+    if let Some(f) = v.get("fmm").filter(|f| !f.is_null()) {
+        options.fmm = Some(FmmConfig {
+            theta: obj_f64(f, "fmm", "theta")?,
+            leaf_size: obj_uint(f, "fmm", "leaf_size")?,
+        });
+    }
+    if let Some(p) = v.get("pfft").filter(|p| !p.is_null()) {
+        options.pfft = Some(PfftConfig {
+            spacing_factor: obj_f64(p, "pfft", "spacing_factor")?,
+            near_cells: obj_uint(p, "pfft", "near_cells")?,
+            max_grid_points: obj_uint(p, "pfft", "max_grid_points")?,
+        });
+    }
+    if let Some(k) = v.get("krylov").filter(|k| !k.is_null()) {
+        options.krylov = Some(KrylovConfig {
+            tol: obj_f64(k, "krylov", "tol")?,
+            restart: obj_uint(k, "krylov", "restart")?,
+            max_iters: obj_uint(k, "krylov", "max_iters")?,
+        });
+    }
+    if let Some(p) = v.get("precond").filter(|p| !p.is_null()) {
+        options.precond = Some(match p {
+            Value::String(s) if s == "identity" => PrecondKind::Identity,
+            Value::String(s) if s == "diagonal" => PrecondKind::Diagonal,
+            obj => match obj.get("block_jacobi").and_then(Value::as_u64) {
+                Some(block) if block > 0 => PrecondKind::BlockJacobi { block: block as usize },
+                _ => {
+                    return Err(WireError::bad(
+                        "'precond' must be \"identity\", \"diagonal\" \
+                         or {\"block_jacobi\": <positive block size>}",
+                    ))
+                }
+            },
+        });
+    }
+    if let Some(b) = v.get("auto_budget").filter(|b| !b.is_null()) {
+        let bytes = b
+            .as_u64()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| WireError::bad("'auto_budget' must be a positive byte count"))?;
+        options.auto_budget = Some(bytes as usize);
+    }
     Ok(options)
+}
+
+fn precond_value(precond: Option<PrecondKind>) -> Value {
+    match precond {
+        None => Value::Null,
+        Some(PrecondKind::Identity) => Value::String("identity".into()),
+        Some(PrecondKind::Diagonal) => Value::String("diagonal".into()),
+        Some(PrecondKind::BlockJacobi { block }) => json!({ "block_jacobi": block }),
+    }
+}
+
+/// Appends the v3 typed backend option fields to an encoded request
+/// object (null when unset, mirroring the decoder's "absent = default").
+fn push_backend_options(v: &mut Value, options: &ExtractOptions) {
+    let Value::Object(entries) = v else { return };
+    entries.push((
+        "fmm".into(),
+        options.fmm.map_or(Value::Null, |f| json!({ "theta": f.theta, "leaf_size": f.leaf_size })),
+    ));
+    entries.push((
+        "pfft".into(),
+        options.pfft.map_or(Value::Null, |p| {
+            json!({
+                "spacing_factor": p.spacing_factor,
+                "near_cells": p.near_cells,
+                "max_grid_points": p.max_grid_points,
+            })
+        }),
+    ));
+    entries.push((
+        "krylov".into(),
+        options.krylov.map_or(
+            Value::Null,
+            |k| json!({ "tol": k.tol, "restart": k.restart, "max_iters": k.max_iters }),
+        ),
+    ));
+    entries.push(("precond".into(), precond_value(options.precond)));
+    entries.push(("auto_budget".into(), options.auto_budget.map_or(Value::Null, |b| json!(b))));
 }
 
 /// Encodes a request as one frame line (no trailing newline).
@@ -255,24 +377,32 @@ pub fn encode_request(req: &Request) -> String {
         Request::Ping { id } => json!({ "op": "ping", "id": *id }),
         Request::Stats { id } => json!({ "op": "stats", "id": *id }),
         Request::Shutdown { id } => json!({ "op": "shutdown", "id": *id }),
-        Request::Extract { id, geometry, options } => json!({
-            "op": "extract",
-            "id": *id,
-            "geometry": geometry.as_str(),
-            "method": method_name(options.method),
-            "accelerated": options.accelerated,
-            "mesh_divisions": options.mesh_divisions,
-        }),
-        Request::Batch { id, geometries, options } => json!({
-            "op": "batch",
-            "id": *id,
-            "geometries": Value::Array(
-                geometries.iter().map(|g| Value::String(g.clone())).collect()
-            ),
-            "method": method_name(options.method),
-            "accelerated": options.accelerated,
-            "mesh_divisions": options.mesh_divisions,
-        }),
+        Request::Extract { id, geometry, options } => {
+            let mut v = json!({
+                "op": "extract",
+                "id": *id,
+                "geometry": geometry.as_str(),
+                "method": method_name(options.method),
+                "accelerated": options.accelerated,
+                "mesh_divisions": options.mesh_divisions,
+            });
+            push_backend_options(&mut v, options);
+            v
+        }
+        Request::Batch { id, geometries, options } => {
+            let mut v = json!({
+                "op": "batch",
+                "id": *id,
+                "geometries": Value::Array(
+                    geometries.iter().map(|g| Value::String(g.clone())).collect()
+                ),
+                "method": method_name(options.method),
+                "accelerated": options.accelerated,
+                "mesh_divisions": options.mesh_divisions,
+            });
+            push_backend_options(&mut v, options);
+            v
+        }
     };
     serde_json::to_string(&v).expect("stub serializer is infallible")
 }
@@ -326,6 +456,29 @@ pub fn cache_stats_from_value(v: &Value) -> Result<CacheStats, WireError> {
         misses: field("misses")?,
         evictions: field("evictions")?,
         inserted_bytes: field("inserted_bytes")?,
+    })
+}
+
+/// Serializes iterative-solver counters for a response `report` (v3).
+pub fn solver_stats_value(stats: &SolverStats) -> Value {
+    json!({
+        "iterations": stats.iterations,
+        "restarts": stats.restarts,
+        "residual": stats.residual,
+    })
+}
+
+/// Decodes iterative-solver counters from a response `report`.
+///
+/// # Errors
+///
+/// [`WireError`] with [`codes::BAD_REQUEST`] when a field is missing or
+/// mistyped.
+pub fn solver_stats_from_value(v: &Value) -> Result<SolverStats, WireError> {
+    Ok(SolverStats {
+        iterations: obj_uint(v, "solver", "iterations")?,
+        restarts: obj_uint(v, "solver", "restarts")?,
+        residual: obj_f64(v, "solver", "residual")?,
     })
 }
 
@@ -385,6 +538,25 @@ mod tests {
                     method: Method::PwcDense,
                     accelerated: true,
                     mesh_divisions: Some(6),
+                    ..Default::default()
+                },
+            },
+            Request::Extract {
+                id: Some(8),
+                geometry: "conductor a\nbox 0 0 0 1 1 1\n".into(),
+                options: ExtractOptions {
+                    method: Method::Auto,
+                    mesh_divisions: Some(5),
+                    fmm: Some(FmmConfig { theta: 0.3, leaf_size: 9 }),
+                    pfft: Some(PfftConfig {
+                        spacing_factor: 1.25,
+                        near_cells: 3,
+                        max_grid_points: 1 << 20,
+                    }),
+                    krylov: Some(KrylovConfig { tol: 1e-8, restart: 25, max_iters: 900 }),
+                    precond: Some(PrecondKind::BlockJacobi { block: 12 }),
+                    auto_budget: Some(64 << 20),
+                    ..Default::default()
                 },
             },
             Request::Batch {
@@ -393,6 +565,16 @@ mod tests {
                     "conductor a\nbox 0 0 0 1 1 1\n".into(),
                     "conductor b\nbox 0 0 0 2 2 2\n".into(),
                 ],
+                options: ExtractOptions {
+                    method: Method::PwcPfft,
+                    krylov: Some(KrylovConfig { tol: 1e-7, restart: 30, max_iters: 500 }),
+                    precond: Some(PrecondKind::Identity),
+                    ..Default::default()
+                },
+            },
+            Request::Batch {
+                id: Some(5),
+                geometries: vec!["conductor a\nbox 0 0 0 1 1 1\n".into()],
                 options: ExtractOptions::default(),
             },
         ];
@@ -401,6 +583,55 @@ mod tests {
             assert!(!line.contains('\n'), "frames are single lines: {line}");
             assert_eq!(decode_request(&line).unwrap(), req, "line: {line}");
         }
+    }
+
+    #[test]
+    fn backend_config_f64_fields_round_trip_bit_exactly() {
+        // Coalescing safety across the wire depends on decoded configs
+        // being the very f64s the client sent.
+        let tol = f64::from_bits(1.0e-7_f64.to_bits() + 1);
+        let req = Request::Extract {
+            id: Some(1),
+            geometry: "g".into(),
+            options: ExtractOptions {
+                method: Method::PwcFmm,
+                fmm: Some(FmmConfig { theta: 0.45000000000000007, leaf_size: 12 }),
+                krylov: Some(KrylovConfig { tol, restart: 40, max_iters: 600 }),
+                ..Default::default()
+            },
+        };
+        match decode_request(&encode_request(&req)).unwrap() {
+            Request::Extract { options, .. } => {
+                assert_eq!(options.fmm.unwrap().theta.to_bits(), 0.45000000000000007_f64.to_bits());
+                assert_eq!(options.krylov.unwrap().tol.to_bits(), tol.to_bits());
+            }
+            other => panic!("expected extract, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_backend_config_fields_are_rejected() {
+        let bad = [
+            r#"{"op":"extract","geometry":"g","fmm":{"theta":"x","leaf_size":2}}"#,
+            r#"{"op":"extract","geometry":"g","fmm":{"theta":0.4}}"#,
+            r#"{"op":"extract","geometry":"g","pfft":{"spacing_factor":1.0}}"#,
+            r#"{"op":"extract","geometry":"g","krylov":{"tol":1e-6,"restart":40}}"#,
+            r#"{"op":"extract","geometry":"g","precond":"magic"}"#,
+            r#"{"op":"extract","geometry":"g","precond":{"block_jacobi":0}}"#,
+            r#"{"op":"extract","geometry":"g","auto_budget":0}"#,
+            r#"{"op":"extract","geometry":"g","method":"auto","auto_budget":-5}"#,
+        ];
+        for line in bad {
+            assert_eq!(decode_request(line).unwrap_err().code, codes::BAD_REQUEST, "{line}");
+        }
+    }
+
+    #[test]
+    fn solver_stats_round_trip() {
+        let stats = SolverStats { iterations: 120, restarts: 2, residual: 3.5e-7 };
+        let v = solver_stats_value(&stats);
+        assert_eq!(solver_stats_from_value(&v).unwrap(), stats);
+        assert!(solver_stats_from_value(&json!({ "iterations": 1 })).is_err());
     }
 
     #[test]
@@ -481,7 +712,13 @@ mod tests {
 
     #[test]
     fn method_names_round_trip() {
-        for m in [Method::InstantiableBasis, Method::PwcDense, Method::PwcFmm, Method::PwcPfft] {
+        for m in [
+            Method::InstantiableBasis,
+            Method::PwcDense,
+            Method::PwcFmm,
+            Method::PwcPfft,
+            Method::Auto,
+        ] {
             assert_eq!(parse_method(method_name(m)), Some(m));
         }
         assert_eq!(parse_method("fastcap"), None);

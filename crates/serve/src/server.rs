@@ -422,11 +422,28 @@ struct DispatchError {
     message: String,
 }
 
-/// Builds the extractor for a request's solver options.
+/// Builds the extractor for a request's solver options, including the v3
+/// typed backend configurations. Unset fields keep the extractor's
+/// defaults, so a v2 frame builds exactly the extractor it always did.
 fn request_extractor(options: ExtractOptions) -> Extractor {
     let mut extractor = Extractor::new().method(options.method).accelerated(options.accelerated);
     if let Some(d) = options.mesh_divisions {
         extractor = extractor.mesh_divisions(d);
+    }
+    if let Some(f) = options.fmm {
+        extractor = extractor.fmm_config(f);
+    }
+    if let Some(p) = options.pfft {
+        extractor = extractor.pfft_config(p);
+    }
+    if let Some(k) = options.krylov {
+        extractor = extractor.krylov_config(k);
+    }
+    if let Some(p) = options.precond {
+        extractor = extractor.preconditioner(p);
+    }
+    if let Some(b) = options.auto_budget {
+        extractor = extractor.auto_memory_budget(b);
     }
     extractor
 }
@@ -476,9 +493,14 @@ fn extraction_value(
             "method": report.method.as_str(),
             "n": report.n,
             "m_templates": report.m_templates,
+            "workers": report.workers,
             "setup_seconds": report.setup_seconds,
             "solve_seconds": report.solve_seconds,
             "memory_bytes": report.memory_bytes,
+            "solver": report
+                .krylov
+                .as_ref()
+                .map_or(Value::Null, protocol::solver_stats_value),
         }),
         "cache": cache_stats_value(cache),
     })

@@ -45,9 +45,10 @@ pub use bemcap_serve as serve;
 /// Convenient glob-import surface for applications.
 pub mod prelude {
     pub use bemcap_core::{
-        BatchExtractor, BatchJob, BatchPoint, BatchReport, BatchResult, CacheStats,
-        CapacitanceMatrix, ExecConfig, ExecStats, Executor, Extraction, Extractor, JobReport,
-        Method, TemplateCache,
+        Backend, BatchExtractor, BatchJob, BatchPoint, BatchReport, BatchResult, CacheStats,
+        CapacitanceMatrix, ExecConfig, ExecStats, Executor, Extraction, ExtractionReport,
+        Extractor, FmmConfig, JobReport, KrylovConfig, Method, PfftConfig, PrecondKind,
+        SolverStats, TemplateCache,
     };
     pub use bemcap_geom::{structures, Box3, Conductor, Geometry, Mesh, Panel, Point3};
     pub use bemcap_serve::{Client, ExtractOptions, ServeError, Server, ServerConfig};

@@ -1,0 +1,154 @@
+//! Property tests of the solver-configuration digest
+//! (`Extractor::config_digest`) — the identity the execution core
+//! coalesces on. The contract pinned here:
+//!
+//! * two extractors differing in **any** knob of the *active* backend's
+//!   typed config (pFFT grid spacing, FMM tolerance, Krylov caps,
+//!   preconditioner, Auto budget) can never share a digest, so the
+//!   executor can never merge them into one micro-batch — coalescing
+//!   across differing backend configs is impossible *by construction*;
+//! * equal configurations always share a digest, so legitimate
+//!   coalescing keeps working;
+//! * knobs of an *inactive* backend do not leak into the digest, so they
+//!   cannot spuriously block coalescing.
+
+use std::sync::Arc;
+
+use bemcap_core::exec::{ExecConfig, Executor};
+use bemcap_core::{BatchJob, Extractor, FmmConfig, KrylovConfig, Method, PfftConfig, PrecondKind};
+use bemcap_geom::structures::{self, CrossingParams};
+use proptest::prelude::*;
+
+fn crossing_job() -> BatchJob {
+    BatchJob::new("probe", structures::crossing_wires(CrossingParams::default()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every active-backend knob separates digests; the untouched clone
+    /// never does.
+    #[test]
+    fn active_backend_config_knobs_always_separate_digests(
+        theta in 0.2..0.8f64,
+        dtheta in 0.01..0.3f64,
+        spacing in 0.8..1.6f64,
+        dspacing in 0.01..0.5f64,
+        tol_exp in 4i32..10,
+        block in 2usize..32,
+        budget_mib in 1usize..1024,
+    ) {
+        let tol = 10f64.powi(-tol_exp);
+        // FMM: theta, krylov tolerance, preconditioner.
+        let fmm = Extractor::new()
+            .method(Method::PwcFmm)
+            .fmm_config(FmmConfig { theta, ..Default::default() })
+            .krylov_config(KrylovConfig { tol, ..Default::default() });
+        prop_assert_eq!(fmm.config_digest(), fmm.clone().config_digest(), "clone must match");
+        let fmm_theta = fmm
+            .clone()
+            .fmm_config(FmmConfig { theta: theta + dtheta, ..Default::default() });
+        prop_assert_ne!(fmm.config_digest(), fmm_theta.config_digest(), "theta");
+        let fmm_tol = fmm
+            .clone()
+            .krylov_config(KrylovConfig { tol: tol * 0.5, ..Default::default() });
+        prop_assert_ne!(fmm.config_digest(), fmm_tol.config_digest(), "krylov tol");
+        let fmm_pre = fmm.clone().preconditioner(PrecondKind::BlockJacobi { block });
+        prop_assert_ne!(fmm.config_digest(), fmm_pre.config_digest(), "preconditioner");
+
+        // pFFT: grid spacing.
+        let pfft = Extractor::new()
+            .method(Method::PwcPfft)
+            .pfft_config(PfftConfig { spacing_factor: spacing, ..Default::default() });
+        let pfft_spacing = pfft.clone().pfft_config(PfftConfig {
+            spacing_factor: spacing + dspacing,
+            ..Default::default()
+        });
+        prop_assert_eq!(pfft.config_digest(), pfft.clone().config_digest());
+        prop_assert_ne!(pfft.config_digest(), pfft_spacing.config_digest(), "spacing");
+
+        // Auto folds in the budget and every candidate's knobs.
+        let auto = Extractor::new().method(Method::Auto).auto_memory_budget(budget_mib << 20);
+        let auto_budget = auto.clone().auto_memory_budget((budget_mib << 20) + 1);
+        prop_assert_ne!(auto.config_digest(), auto_budget.config_digest(), "auto budget");
+        let auto_fmm = auto
+            .clone()
+            .fmm_config(FmmConfig { theta: theta + dtheta, ..Default::default() });
+        prop_assert_ne!(auto.config_digest(), auto_fmm.config_digest(), "auto fmm candidate");
+
+        // Different methods never share a digest.
+        for (a, b) in [
+            (Method::InstantiableBasis, Method::PwcDense),
+            (Method::PwcFmm, Method::PwcPfft),
+            (Method::PwcDense, Method::Auto),
+        ] {
+            prop_assert_ne!(
+                Extractor::new().method(a).config_digest(),
+                Extractor::new().method(b).config_digest(),
+                "methods {:?} vs {:?}", a, b
+            );
+        }
+    }
+
+    /// Inactive backends' knobs are not folded in: an instantiable
+    /// extractor keeps its digest whatever the (unused) pFFT/FMM configs
+    /// say, so unrelated knobs cannot block legitimate coalescing.
+    #[test]
+    fn inactive_backend_config_does_not_leak_into_the_digest(
+        theta in 0.2..0.8f64,
+        spacing in 0.8..1.6f64,
+    ) {
+        let base = Extractor::new(); // instantiable
+        let with_unused = base
+            .clone()
+            .fmm_config(FmmConfig { theta, ..Default::default() })
+            .pfft_config(PfftConfig { spacing_factor: spacing, ..Default::default() });
+        prop_assert_eq!(base.config_digest(), with_unused.config_digest());
+        // The same knobs on the dense backend are inert too.
+        let dense = Extractor::new().method(Method::PwcDense).mesh_divisions(5);
+        let dense_unused = dense
+            .clone()
+            .fmm_config(FmmConfig { theta, ..Default::default() });
+        prop_assert_eq!(dense.config_digest(), dense_unused.config_digest());
+    }
+}
+
+/// End to end: submissions whose backend configs differ run in separate
+/// micro-batches whatever the timing — the executor keys micro-batches
+/// on the digest, and unequal digests cannot collide.
+#[test]
+fn differing_backend_configs_never_coalesce_on_an_executor() {
+    let exec = Executor::new(ExecConfig { workers: 2, queue_depth: 16, coalesce_limit: 16 });
+    let base = Extractor::new().method(Method::PwcPfft).mesh_divisions(3);
+    let variants = [
+        base.clone(),
+        base.clone().pfft_config(PfftConfig { spacing_factor: 1.2, ..Default::default() }),
+        base.clone().krylov_config(KrylovConfig { tol: 1e-8, ..Default::default() }),
+        base.clone().preconditioner(PrecondKind::Identity),
+    ];
+    let tickets: Vec<_> = variants
+        .iter()
+        .map(|ex| exec.submit(ex, None, vec![crossing_job()]).expect("admitted"))
+        .collect();
+    let mut batches: Vec<u64> = Vec::new();
+    for t in tickets {
+        let sub = t.wait();
+        assert!(sub.first_failure().is_none());
+        assert!(!batches.contains(&sub.micro_batch), "distinct configs shared a micro-batch");
+        batches.push(sub.micro_batch);
+    }
+    assert_eq!(exec.stats().coalesced, 0);
+    assert_eq!(exec.stats().micro_batches, 4);
+
+    // Control: bit-identical configs on one shared cache are allowed to
+    // coalesce (and always produce correct results either way).
+    let cache = Arc::new(bemcap_core::TemplateCache::unbounded());
+    let twins: Vec<_> = (0..3)
+        .map(|_| {
+            exec.submit(&base, Some(Arc::clone(&cache)), vec![crossing_job()]).expect("admitted")
+        })
+        .collect();
+    for t in twins {
+        assert!(t.wait().first_failure().is_none());
+    }
+}

@@ -103,6 +103,8 @@ fn reference_extractor() -> Extractor {
 ///
 /// * `PwcDense` regenerates the committed values: machine-precision band
 ///   (loose enough to survive benign float reassociation in refactors);
+/// * `Auto` resolves to `PwcDense` for every golden geometry (they are
+///   all far below the dense panel cap), so it inherits the dense band;
 /// * `PwcFmm` / `PwcPfft` share the discretization but truncate the
 ///   far-field: a few percent;
 /// * `InstantiableBasis` is a different (compact) discretization
@@ -113,7 +115,7 @@ fn tolerance(method: Method) -> f64 {
     // test's output): fmm ≤ 5.4e-4, pfft ≤ 7.6e-3, instantiable ≤ 1.1e-2;
     // each band leaves an order-of-magnitude margin.
     match method {
-        Method::PwcDense => 1e-9,
+        Method::PwcDense | Method::Auto => 1e-9,
         Method::PwcFmm => 1e-2,
         Method::PwcPfft => 5e-2,
         Method::InstantiableBasis => 0.1,
@@ -127,18 +129,33 @@ fn extractor_for(method: Method) -> Extractor {
     }
 }
 
-const ALL_METHODS: [Method; 4] =
-    [Method::PwcDense, Method::PwcFmm, Method::PwcPfft, Method::InstantiableBasis];
+const ALL_METHODS: [Method; 5] =
+    [Method::PwcDense, Method::PwcFmm, Method::PwcPfft, Method::InstantiableBasis, Method::Auto];
 
 fn check_case(name: &str) {
     let (_, geo) = cases().into_iter().find(|(n, _)| *n == name).expect("known case");
     let golden = load_golden(name);
     let scale = golden.max_abs();
     for method in ALL_METHODS {
-        let out = extractor_for(method).extract(&geo).expect("extraction");
+        let extractor = extractor_for(method);
+        if method == Method::Auto {
+            // The tolerance premise: every golden geometry is small
+            // enough that Auto's policy lands on the dense reference.
+            assert_eq!(extractor.resolved_method(&geo), Method::PwcDense, "{name}: auto policy");
+        }
+        let out = extractor.extract(&geo).expect("extraction");
         let c = out.capacitance();
         assert_eq!(c.dim(), golden.dim(), "{name}/{method:?}: dimension");
         assert_eq!(c.names(), &golden.names[..], "{name}/{method:?}: conductor names");
+        // Solver-stats contract: iterative backends report Krylov
+        // counters, direct solves (and Auto resolving to one) do not.
+        match method {
+            Method::PwcFmm | Method::PwcPfft => {
+                let stats = out.report().krylov.expect("iterative backends report krylov stats");
+                assert!(stats.iterations > 0, "{name}/{method:?}");
+            }
+            _ => assert!(out.report().krylov.is_none(), "{name}/{method:?}"),
+        }
         let tol = tolerance(method);
         for i in 0..c.dim() {
             for j in 0..c.dim() {
@@ -157,7 +174,7 @@ fn check_case(name: &str) {
         // round-off; the Krylov-based baselines only to their residual
         // tolerance.
         let max_asym = match method {
-            Method::PwcDense | Method::InstantiableBasis => 1e-6,
+            Method::PwcDense | Method::InstantiableBasis | Method::Auto => 1e-6,
             Method::PwcFmm | Method::PwcPfft => 1e-3,
         };
         assert!(c.asymmetry() < max_asym, "{name}/{method:?}: asymmetry {}", c.asymmetry());

@@ -5,13 +5,15 @@
 
 use bemcap::prelude::*;
 
-/// All four solver backends, with the mesh resolution each needs to stay
-/// fast on the elementary crossing-wire problem.
-const METHODS: [(Method, &str); 4] = [
+/// All five solver backends, with the report name each produces on the
+/// elementary crossing-wire problem (`Auto` resolves to the dense
+/// reference at this size — the report names what actually ran).
+const METHODS: [(Method, &str); 5] = [
     (Method::InstantiableBasis, "instantiable"),
     (Method::PwcDense, "pwc-dense"),
     (Method::PwcFmm, "pwc-fmm"),
     (Method::PwcPfft, "pwc-pfft"),
+    (Method::Auto, "pwc-dense"),
 ];
 
 #[test]
@@ -50,11 +52,39 @@ fn every_method_variant_extracts_the_crossing_pair() {
             "{name}: coupling {coupling} vs dense {dense_coupling}"
         );
 
-        // The report is part of the prelude-visible Extraction API.
+        // The report is part of the prelude-visible Extraction API, and
+        // names the backend that actually ran.
         let r = extraction.report();
+        assert_eq!(r.method, name, "{method:?}: report method name");
         assert!(r.setup_seconds >= 0.0 && r.solve_seconds >= 0.0, "{name}: timings");
         assert!(r.n > 0, "{name}: system dimension");
+        assert!(r.workers >= 1, "{name}: worker count");
     }
+}
+
+#[test]
+fn typed_backend_configs_compose_through_the_prelude() {
+    // The whole typed-config surface is reachable from one glob import.
+    let geo = structures::crossing_wires(structures::CrossingParams::default());
+    let extraction = Extractor::new()
+        .method(Method::PwcFmm)
+        .mesh_divisions(5)
+        .fmm_config(FmmConfig { theta: 0.4, leaf_size: 10 })
+        .pfft_config(PfftConfig::default())
+        .krylov_config(KrylovConfig { tol: 1e-7, restart: 30, max_iters: 500 })
+        .preconditioner(PrecondKind::Diagonal)
+        .auto_memory_budget(128 << 20)
+        .extract(&geo)
+        .expect("typed-config extraction");
+    let report: &ExtractionReport = extraction.report();
+    let stats: SolverStats = report.krylov.expect("iterative backend reports solver stats");
+    assert!(stats.iterations > 0);
+    assert!(stats.residual < 1e-7);
+    // The Backend trait object is part of the public surface too.
+    let backend: Box<dyn Backend> = Extractor::new().method(Method::Auto).backend();
+    let mut words = Vec::new();
+    backend.digest(&mut words);
+    assert!(!words.is_empty(), "auto backend digests its full candidate set");
 }
 
 #[test]

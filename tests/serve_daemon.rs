@@ -282,6 +282,101 @@ fn non_default_methods_run_through_the_daemon() {
 }
 
 #[test]
+fn every_method_variant_with_typed_configs_is_bit_identical_via_the_daemon() {
+    // All five Method variants — including Auto and non-default typed
+    // backend configs — through the daemon, each bit-identical to the
+    // in-process extraction built from the same knobs; iterative
+    // backends' solver stats round-trip alongside.
+    let server = default_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let geo = structures::crossing_wires(structures::CrossingParams::default());
+
+    let fmm = FmmConfig { theta: 0.35, leaf_size: 10 };
+    let pfft = PfftConfig { spacing_factor: 1.1, ..Default::default() };
+    let krylov = KrylovConfig { tol: 1e-7, restart: 30, max_iters: 500 };
+    let cases: Vec<(ExtractOptions, Extractor, &str, bool)> = vec![
+        (ExtractOptions::default(), Extractor::new(), "instantiable", false),
+        (
+            ExtractOptions {
+                method: Method::PwcDense,
+                mesh_divisions: Some(5),
+                ..Default::default()
+            },
+            Extractor::new().method(Method::PwcDense).mesh_divisions(5),
+            "pwc-dense",
+            false,
+        ),
+        (
+            ExtractOptions {
+                method: Method::PwcFmm,
+                mesh_divisions: Some(5),
+                fmm: Some(fmm),
+                krylov: Some(krylov),
+                precond: Some(PrecondKind::BlockJacobi { block: 8 }),
+                ..Default::default()
+            },
+            Extractor::new()
+                .method(Method::PwcFmm)
+                .mesh_divisions(5)
+                .fmm_config(fmm)
+                .krylov_config(krylov)
+                .preconditioner(PrecondKind::BlockJacobi { block: 8 }),
+            "pwc-fmm",
+            true,
+        ),
+        (
+            ExtractOptions {
+                method: Method::PwcPfft,
+                mesh_divisions: Some(5),
+                pfft: Some(pfft),
+                krylov: Some(krylov),
+                ..Default::default()
+            },
+            Extractor::new()
+                .method(Method::PwcPfft)
+                .mesh_divisions(5)
+                .pfft_config(pfft)
+                .krylov_config(krylov),
+            "pwc-pfft",
+            true,
+        ),
+        (
+            ExtractOptions {
+                method: Method::Auto,
+                mesh_divisions: Some(5),
+                auto_budget: Some(64 << 20),
+                ..Default::default()
+            },
+            Extractor::new().method(Method::Auto).mesh_divisions(5).auto_memory_budget(64 << 20),
+            "pwc-dense", // Auto resolves to dense at this size
+            false,
+        ),
+    ];
+    for (options, local_extractor, want_method, iterative) in cases {
+        let reply = client.extract(&geo, &options).expect("daemon extraction");
+        let local = local_extractor.extract(&geo).expect("local extraction");
+        assert_eq!(reply.method, want_method);
+        assert_eq!(reply.method, local.report().method, "{want_method}: resolved names agree");
+        assert_bit_identical(&reply, &local, want_method);
+        assert_eq!(reply.workers, local.report().workers, "{want_method}: workers");
+        if iterative {
+            let wire = reply.solver.expect("iterative backends report solver stats");
+            let here = local.report().krylov.expect("local stats");
+            assert_eq!(
+                (wire.iterations, wire.restarts, wire.residual.to_bits()),
+                (here.iterations, here.restarts, here.residual.to_bits()),
+                "{want_method}: solver stats round-trip bit-exactly"
+            );
+            assert!(wire.residual < krylov.tol);
+        } else {
+            assert!(reply.solver.is_none(), "{want_method}: direct solves carry no solver stats");
+        }
+    }
+    client.shutdown().expect("shutdown");
+    server.join().expect("clean daemon exit");
+}
+
+#[test]
 fn warm_requests_are_pure_cache_hits() {
     // One worker per request makes the second identical request's
     // hit-set deterministic: everything is resident, zero misses.
@@ -388,6 +483,59 @@ fn malformed_requests_get_structured_errors_and_the_connection_survives() {
 
     client.shutdown().expect("shutdown");
     server.join().expect("clean daemon exit");
+}
+
+#[test]
+fn typed_options_against_a_pre_v3_daemon_fail_instead_of_silently_downgrading() {
+    use std::net::TcpListener;
+    // A canned v2-style daemon: answers one extract with a report that
+    // lacks the v3 `workers` marker (a real v2 daemon ignores the typed
+    // fields entirely and solves under its own defaults).
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake daemon");
+    let addr = listener.local_addr().expect("addr");
+    let fake = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        for _ in 0..2 {
+            line.clear();
+            if reader.read_line(&mut line).expect("read") == 0 {
+                return;
+            }
+            let id: u64 = line
+                .split("\"id\":")
+                .nth(1)
+                .and_then(|s| s.trim_start().split(|c: char| !c.is_ascii_digit()).next())
+                .and_then(|s| s.parse().ok())
+                .expect("request id");
+            let response = format!(
+                "{{\"id\":{id},\"ok\":true,\"result\":{{\"names\":[\"a\"],\"matrix\":[[1.0]],\
+                 \"report\":{{\"method\":\"instantiable\",\"n\":4,\"m_templates\":null,\
+                 \"setup_seconds\":0.1,\"solve_seconds\":0.1,\"memory_bytes\":128}},\
+                 \"cache\":{{\"hits\":0,\"misses\":1,\"evictions\":0,\"inserted_bytes\":192,\
+                 \"hit_rate\":0.0}}}}}}\n"
+            );
+            (&stream).write_all(response.as_bytes()).expect("write");
+        }
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    let geo = structures::crossing_wires(structures::CrossingParams::default());
+    // Typed backend options against the v2-shaped report: refused.
+    let typed = ExtractOptions {
+        krylov: Some(KrylovConfig { tol: 1e-9, ..Default::default() }),
+        ..Default::default()
+    };
+    match client.extract(&geo, &typed) {
+        Err(ServeError::Protocol(msg)) => {
+            assert!(msg.contains("typed backend options"), "{msg}");
+        }
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+    // The same report without typed options decodes leniently.
+    let reply = client.extract(&geo, &ExtractOptions::default()).expect("lenient decode");
+    assert_eq!((reply.workers, reply.solver), (1, None));
+    drop(client);
+    fake.join().expect("fake daemon thread");
 }
 
 #[test]

@@ -103,7 +103,9 @@ fn batch_is_bit_identical_to_single_for_direct_solvers() {
     // cache on or off.
     let hs = [0.4e-6, 0.7e-6, 1.0e-6];
     let geos = crossing_family(&hs);
-    for method in [Method::InstantiableBasis, Method::PwcDense] {
+    // `Auto` resolves to the dense direct solver at this size, so it
+    // belongs in the bit-identity class.
+    for method in [Method::InstantiableBasis, Method::PwcDense, Method::Auto] {
         let ex = Extractor::new().method(method).mesh_divisions(6);
         let singles: Vec<_> =
             geos.iter().map(|g| ex.extract(g).expect("single extraction")).collect();
@@ -157,6 +159,44 @@ fn batch_is_tolerance_bounded_for_iterative_solvers() {
                         b.get(i, j),
                     );
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn krylov_caps_steer_the_unified_path() {
+    // The typed iterative config is honored end to end: a looser
+    // tolerance stops earlier (fewer iterations, larger residual bound),
+    // and both runs stay inside their own reported residual.
+    use bemcap_core::KrylovConfig;
+    let geo = structures::crossing_wires(CrossingParams::default());
+    for method in [Method::PwcFmm, Method::PwcPfft] {
+        let run = |tol: f64| {
+            Extractor::new()
+                .method(method)
+                .mesh_divisions(6)
+                .krylov_config(KrylovConfig { tol, ..Default::default() })
+                .extract(&geo)
+                .expect("extraction")
+        };
+        let loose = run(1e-3);
+        let tight = run(1e-9);
+        let (ls, ts) =
+            (loose.report().krylov.expect("stats"), tight.report().krylov.expect("stats"));
+        assert!(
+            ls.iterations < ts.iterations,
+            "{method:?}: loose {} vs tight {}",
+            ls.iterations,
+            ts.iterations
+        );
+        assert!(ls.residual < 1e-3 && ts.residual < 1e-9, "{method:?}: {ls:?} {ts:?}");
+        // Same physics either way, inside the loose tolerance band.
+        let scale = tight.capacitance().matrix().max_abs();
+        for i in 0..2 {
+            for j in 0..2 {
+                let d = (loose.capacitance().get(i, j) - tight.capacitance().get(i, j)).abs();
+                assert!(d < 1e-2 * scale, "{method:?} ({i},{j})");
             }
         }
     }

@@ -142,7 +142,7 @@ pub mod strategy {
 pub mod prelude {
     pub use crate::strategy::Sample;
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
 }
 
 /// Stub of `proptest!`: expands each property into a plain `#[test]`
@@ -176,6 +176,12 @@ macro_rules! prop_assert {
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Stub of `prop_assert_ne!`: plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
 }
 
 #[cfg(test)]
