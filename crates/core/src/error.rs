@@ -5,6 +5,7 @@ use std::fmt;
 
 use bemcap_basis::BasisError;
 use bemcap_fmm::FmmError;
+use bemcap_geom::GeomError;
 use bemcap_linalg::LinalgError;
 use bemcap_pfft::PfftError;
 
@@ -44,6 +45,18 @@ pub enum CoreError {
         /// What went wrong inside the job.
         source: Box<CoreError>,
     },
+    /// The geometry layer rejected an input (unusable layout, bad
+    /// window partition, parse failure of an embedded description).
+    Geometry(GeomError),
+    /// A full-chip window extraction failed. Carries the failing
+    /// window's index in the partition's window order and the
+    /// underlying error.
+    ChipWindow {
+        /// Index of the failing window.
+        window: usize,
+        /// What went wrong inside the window's extraction.
+        source: Box<CoreError>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -63,6 +76,10 @@ impl fmt::Display for CoreError {
             CoreError::BatchJob { index, parameter: None, source } => {
                 write!(f, "batch job {index} failed: {source}")
             }
+            CoreError::Geometry(e) => write!(f, "geometry rejected: {e}"),
+            CoreError::ChipWindow { window, source } => {
+                write!(f, "chip window {window} failed: {source}")
+            }
         }
     }
 }
@@ -76,6 +93,8 @@ impl Error for CoreError {
             CoreError::Pfft(e) => Some(e),
             CoreError::EmptyGeometry | CoreError::Busy { .. } => None,
             CoreError::BatchJob { source, .. } => Some(source.as_ref()),
+            CoreError::Geometry(e) => Some(e),
+            CoreError::ChipWindow { source, .. } => Some(source.as_ref()),
         }
     }
 }
@@ -101,6 +120,12 @@ impl From<FmmError> for CoreError {
 impl From<PfftError> for CoreError {
     fn from(e: PfftError) -> Self {
         CoreError::Pfft(e)
+    }
+}
+
+impl From<GeomError> for CoreError {
+    fn from(e: GeomError) -> Self {
+        CoreError::Geometry(e)
     }
 }
 

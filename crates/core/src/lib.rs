@@ -36,6 +36,7 @@ pub mod assembly;
 pub mod backend;
 pub mod batch;
 pub mod cache;
+pub mod chip;
 pub mod error;
 pub mod exec;
 pub mod extraction;
@@ -49,6 +50,10 @@ pub use backend::{
 };
 pub use batch::{BatchExtractor, BatchJob, BatchPoint, BatchResult};
 pub use cache::TemplateCache;
+pub use chip::{
+    ChipCapacitance, ChipExtraction, ChipExtractor, ChipReport, WindowCache, WindowKey,
+    WindowResult,
+};
 pub use error::CoreError;
 pub use exec::{ExecConfig, Executor, JobOutcome, Submission, Ticket};
 pub use extraction::{CapacitanceMatrix, Extraction, Extractor, Method};

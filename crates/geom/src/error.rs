@@ -28,6 +28,12 @@ pub enum GeomError {
         /// The missing name.
         name: String,
     },
+    /// A full-chip layout or partition operation received unusable
+    /// input (empty layout, duplicate net names, bad window grid).
+    Layout {
+        /// Human-readable description of the problem.
+        detail: String,
+    },
 }
 
 impl fmt::Display for GeomError {
@@ -43,6 +49,7 @@ impl fmt::Display for GeomError {
             GeomError::UnknownConductor { name } => {
                 write!(f, "unknown conductor name: {name}")
             }
+            GeomError::Layout { detail } => write!(f, "layout error: {detail}"),
         }
     }
 }

@@ -24,6 +24,7 @@ pub mod boxes;
 pub mod conductor;
 pub mod error;
 pub mod io;
+pub mod layout;
 pub mod mesh;
 pub mod panel;
 pub mod structures;
@@ -33,6 +34,7 @@ pub use axis::Axis;
 pub use boxes::Box3;
 pub use conductor::{Conductor, Geometry};
 pub use error::GeomError;
+pub use layout::{GeometryDiff, Layout, Partition, PartitionConfig, Rect, Window};
 pub use mesh::{Mesh, MeshPanel};
 pub use panel::{Panel, PanelRelation};
 pub use vec3::Point3;

@@ -28,6 +28,7 @@ pub mod krylov;
 pub mod lu;
 pub mod matrix;
 pub mod qr;
+pub mod sparse;
 
 pub use cholesky::CholeskyFactor;
 pub use error::LinalgError;
@@ -39,6 +40,7 @@ pub use krylov::{
 pub use lu::LuFactor;
 pub use matrix::Matrix;
 pub use qr::{least_squares, QrFactor};
+pub use sparse::{SparseBuilder, SparseMatrix};
 
 /// Euclidean norm of a slice.
 pub fn norm2(v: &[f64]) -> f64 {

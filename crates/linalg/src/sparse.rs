@@ -1,0 +1,310 @@
+//! Minimal sparse matrices in triplet → CSR form.
+//!
+//! The full-chip stitcher assembles per-window capacitance blocks into one
+//! chip-level matrix whose sparsity mirrors the window overlap structure:
+//! a net couples only to nets sharing a window, so the n×n matrix of a
+//! large layout is overwhelmingly empty. [`SparseMatrix`] is the result
+//! type of that assembly — accumulate `(row, col, value)` triplets with
+//! [`SparseBuilder`], then [`SparseBuilder::build`] compresses them into
+//! compressed-sparse-row storage.
+//!
+//! The build is **deterministic**: triplets are stably sorted by
+//! `(row, col)` and duplicates are summed in insertion order, so the same
+//! triplet stream always produces bit-identical values — the property the
+//! chip layer's "stitched result is independent of pool size" contract
+//! rests on.
+//!
+//! ```
+//! use bemcap_linalg::SparseMatrix;
+//!
+//! let mut b = SparseMatrix::builder(2, 2);
+//! b.push(0, 0, 2.0);
+//! b.push(1, 1, 3.0);
+//! b.push(0, 0, 0.5); // duplicate: summed
+//! let m = b.build();
+//! assert_eq!(m.nnz(), 2);
+//! assert_eq!(m.get(0, 0), 2.5);
+//! assert_eq!(m.get(0, 1), 0.0);
+//! ```
+
+use std::fmt;
+
+use crate::matrix::Matrix;
+
+/// Triplet accumulator for a [`SparseMatrix`].
+///
+/// Created by [`SparseMatrix::builder`]. Entries may arrive in any order;
+/// duplicates are allowed and summed at [`build`](SparseBuilder::build)
+/// time (in insertion order, so the sum is reproducible).
+#[derive(Debug, Clone)]
+pub struct SparseBuilder {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl SparseBuilder {
+    /// Adds one `(row, col, value)` triplet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows, "sparse row {row} out of range 0..{}", self.rows);
+        assert!(col < self.cols, "sparse col {col} out of range 0..{}", self.cols);
+        self.entries.push((row, col, value));
+    }
+
+    /// Number of accumulated triplets (before duplicate merging).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no triplets have been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Compresses the triplets into CSR storage.
+    ///
+    /// Stable-sorts by `(row, col)` and sums duplicates in insertion
+    /// order, so identical triplet streams build bit-identical matrices.
+    pub fn build(mut self) -> SparseMatrix {
+        self.entries.sort_by_key(|&(i, j, _)| (i, j));
+        let mut col_idx = Vec::with_capacity(self.entries.len());
+        let mut values: Vec<f64> = Vec::with_capacity(self.entries.len());
+        let mut row_counts = vec![0usize; self.rows];
+        let mut last: Option<(usize, usize)> = None;
+        for &(i, j, v) in &self.entries {
+            if last == Some((i, j)) {
+                *values.last_mut().expect("slot exists when last is set") += v;
+            } else {
+                col_idx.push(j);
+                values.push(v);
+                row_counts[i] += 1;
+                last = Some((i, j));
+            }
+        }
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        for (i, &count) in row_counts.iter().enumerate() {
+            row_ptr[i + 1] = row_ptr[i] + count;
+        }
+        SparseMatrix { rows: self.rows, cols: self.cols, row_ptr, col_idx, values }
+    }
+}
+
+/// An immutable sparse matrix in compressed-sparse-row storage.
+///
+/// Built from triplets via [`SparseMatrix::builder`]. Entries within a
+/// row are sorted by column, so [`get`](SparseMatrix::get) is a binary
+/// search and iteration is row-major ordered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    /// `row_ptr[i]..row_ptr[i+1]` indexes row `i`'s slots.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Starts a triplet accumulator for a `rows × cols` matrix.
+    pub fn builder(rows: usize, cols: usize) -> SparseBuilder {
+        SparseBuilder { rows, cols, entries: Vec::new() }
+    }
+
+    /// Builds directly from a triplet list (convenience over the builder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> SparseMatrix {
+        let mut b = SparseMatrix::builder(rows, cols);
+        for &(i, j, v) in triplets {
+            b.push(i, j, v);
+        }
+        b.build()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Entry `(i, j)`, or `0.0` when the slot is not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows, "sparse row {i} out of range 0..{}", self.rows);
+        assert!(j < self.cols, "sparse col {j} out of range 0..{}", self.cols);
+        let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        match self.col_idx[lo..hi].binary_search(&j) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The stored `(column, value)` pairs of row `i`, column-sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        assert!(i < self.rows, "sparse row {i} out of range 0..{}", self.rows);
+        let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Iterates stored entries as `(row, col, value)` in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |i| {
+            let (cols, vals) = self.row(i);
+            cols.iter().zip(vals).map(move |(&j, &v)| (i, j, v))
+        })
+    }
+
+    /// `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let (cols, vals) = self.row(i);
+            *yi = cols.iter().zip(vals).map(|(&j, &v)| v * x[j]).sum();
+        }
+        y
+    }
+
+    /// Expands to a dense [`Matrix`] (for small matrices and tests).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for (i, j, v) in self.iter() {
+            m.set(i, j, v);
+        }
+        m
+    }
+
+    /// Largest absolute stored entry (0 for an empty matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.values.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Whether every stored entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite())
+    }
+
+    /// Approximate resident size in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.row_ptr.len() * size_of::<usize>()
+            + self.col_idx.len() * size_of::<usize>()
+            + self.values.len() * size_of::<f64>()
+    }
+}
+
+impl fmt::Display for SparseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} sparse matrix, {} stored entries", self.rows, self.cols, self.nnz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_sorts_and_compresses() {
+        let m = SparseMatrix::from_triplets(3, 3, &[(2, 0, 5.0), (0, 1, 2.0), (0, 0, 1.0)]);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(2, 0), 5.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        let entries: Vec<_> = m.iter().collect();
+        assert_eq!(entries, vec![(0, 0, 1.0), (0, 1, 2.0), (2, 0, 5.0)]);
+    }
+
+    #[test]
+    fn duplicates_sum_in_insertion_order() {
+        let m = SparseMatrix::from_triplets(2, 2, &[(1, 1, 0.1), (0, 0, 1.0), (1, 1, 0.2)]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(1, 1), 0.1 + 0.2);
+    }
+
+    #[test]
+    fn insertion_order_determines_bits() {
+        // Same triplets, same insertion order, different interleaving of
+        // other rows: values must be bit-identical.
+        let a = SparseMatrix::from_triplets(2, 2, &[(0, 0, 1e-16), (0, 0, 1.0), (0, 0, -1.0)]);
+        let b = SparseMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 1e-16), (1, 0, 9.0), (0, 0, 1.0), (0, 0, -1.0)],
+        );
+        assert_eq!(a.get(0, 0).to_bits(), b.get(0, 0).to_bits());
+    }
+
+    #[test]
+    fn empty_rows_have_monotone_pointers() {
+        let m = SparseMatrix::from_triplets(4, 4, &[(3, 3, 1.0)]);
+        for i in 0..4 {
+            let (cols, _) = m.row(i);
+            assert_eq!(cols.len(), usize::from(i == 3));
+        }
+        assert_eq!(m.get(3, 3), 1.0);
+        let empty = SparseMatrix::builder(3, 2).build();
+        assert_eq!(empty.nnz(), 0);
+        assert_eq!(empty.get(2, 1), 0.0);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let t = [(0, 0, 2.0), (0, 2, -1.0), (1, 1, 3.0), (2, 0, 0.5), (2, 2, 4.0)];
+        let m = SparseMatrix::from_triplets(3, 3, &t);
+        let x = [1.0, 2.0, 3.0];
+        let dense = m.to_dense();
+        assert_eq!(m.matvec(&x), dense.matvec(&x));
+        assert_eq!(dense.get(0, 2), -1.0);
+        assert_eq!(m.memory_bytes(), 4 * 8 + 5 * 8 + 5 * 8);
+        assert!(m.is_finite());
+        assert_eq!(m.max_abs(), 4.0);
+        assert_eq!(format!("{m}"), "3x3 sparse matrix, 5 stored entries");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_push_panics() {
+        let mut b = SparseMatrix::builder(2, 2);
+        b.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn builder_len() {
+        let mut b = SparseMatrix::builder(2, 2);
+        assert!(b.is_empty());
+        b.push(0, 0, 1.0);
+        b.push(0, 0, 1.0);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.build().nnz(), 1);
+    }
+}

@@ -87,6 +87,67 @@ impl ExtractReply {
     }
 }
 
+/// Options of a full-chip windowed `chip` request (protocol v4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipOptions {
+    /// Solver configuration, shared by every window.
+    pub extract: ExtractOptions,
+    /// Window grid columns.
+    pub nx: usize,
+    /// Window grid rows.
+    pub ny: usize,
+    /// Halo margin around each core tile in layout units
+    /// (`None` = the daemon's default).
+    pub halo: Option<f64>,
+}
+
+impl Default for ChipOptions {
+    fn default() -> ChipOptions {
+        ChipOptions { extract: ExtractOptions::default(), nx: 2, ny: 2, halo: None }
+    }
+}
+
+/// A decoded `chip` response: the stitched sparse chip capacitance
+/// matrix plus the daemon-side windowing report.
+#[derive(Debug, Clone)]
+pub struct ChipReply {
+    /// Conductor net names, in matrix index order.
+    pub names: Vec<String>,
+    /// Matrix dimension (number of conductors).
+    pub dim: usize,
+    /// Stored sparse entries `(i, j, c_ij)` in row-major order,
+    /// bit-identical to the daemon-side computation.
+    pub entries: Vec<(usize, usize, f64)>,
+    /// Windows in the daemon's partition.
+    pub windows: usize,
+    /// Windows extracted for this request (window-cache misses).
+    pub extracted: usize,
+    /// Windows reused from the daemon's window cache.
+    pub reused: usize,
+    /// Worker threads the windows ran on.
+    pub workers: usize,
+    /// Daemon-side wall-clock seconds of the chip extraction.
+    pub wall_seconds: f64,
+    /// Pair-integral cache counters aggregated over extracted windows.
+    pub cache: CacheStats,
+    /// Window-cache counters of this request (hits = reused windows).
+    pub window_cache: CacheStats,
+}
+
+impl ChipReply {
+    /// Entry C_ij in farad; `0.0` for net pairs sharing no window.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.entries
+            .binary_search_by_key(&(i, j), |&(ei, ej, _)| (ei, ej))
+            .map_or(0.0, |at| self.entries[at].2)
+    }
+
+    /// Stored entries (the sparse matrix's nonzero pattern size).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+}
+
 /// A decoded `stats` response.
 #[derive(Debug, Clone)]
 pub struct DaemonStats {
@@ -116,6 +177,12 @@ pub struct DaemonStats {
     pub running: usize,
     /// Lifetime executor counters (admission, rejections, coalescing).
     pub exec: ExecStats,
+    /// Lifetime window-cache counters of the `chip` op (v4; all zero
+    /// when the daemon predates the field).
+    pub window_cache: CacheStats,
+    /// Resident window-cache entries right now (v4; 0 for older
+    /// daemons).
+    pub window_cache_entries: usize,
 }
 
 fn proto_err(msg: impl Into<String>) -> ServeError {
@@ -176,6 +243,72 @@ fn decode_extract_result(result: &Value) -> Result<ExtractReply, ServeError> {
         cache,
         queue_seconds: 0.0,
         coalesced: false,
+    })
+}
+
+/// Decodes a `chip` result object into a [`ChipReply`].
+fn decode_chip_result(result: &Value) -> Result<ChipReply, ServeError> {
+    let names: Vec<String> = result
+        .get("names")
+        .and_then(Value::as_array)
+        .ok_or_else(|| proto_err("chip response missing 'names'"))?
+        .iter()
+        .map(|v| v.as_str().map(str::to_string))
+        .collect::<Option<_>>()
+        .ok_or_else(|| proto_err("non-string conductor name"))?;
+    let dim = result
+        .get("dim")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| proto_err("chip response missing 'dim'"))? as usize;
+    if dim != names.len() {
+        return Err(proto_err("chip dimension does not match conductor names"));
+    }
+    let mut entries: Vec<(usize, usize, f64)> = Vec::new();
+    for e in result
+        .get("entries")
+        .and_then(Value::as_array)
+        .ok_or_else(|| proto_err("chip response missing 'entries'"))?
+    {
+        let triplet = e
+            .as_array()
+            .filter(|t| t.len() == 3)
+            .ok_or_else(|| proto_err("chip entries must be [i, j, value] triplets"))?;
+        let i = triplet[0].as_u64().ok_or_else(|| proto_err("non-integer chip row index"))?;
+        let j = triplet[1].as_u64().ok_or_else(|| proto_err("non-integer chip column index"))?;
+        let v = triplet[2].as_f64().ok_or_else(|| proto_err("non-numeric chip entry"))?;
+        if i as usize >= dim || j as usize >= dim {
+            return Err(proto_err("chip entry index out of range"));
+        }
+        entries.push((i as usize, j as usize, v));
+    }
+    // The daemon emits CSR row-major order already; sort defensively so
+    // `ChipReply::get`'s binary search never depends on wire order.
+    entries.sort_by_key(|&(i, j, _)| (i, j));
+    let report = result.get("report").ok_or_else(|| proto_err("chip missing 'report'"))?;
+    let ruint = |name: &str| {
+        report
+            .get(name)
+            .and_then(Value::as_u64)
+            .map(|n| n as usize)
+            .ok_or_else(|| proto_err(format!("chip report missing '{name}'")))
+    };
+    Ok(ChipReply {
+        names,
+        dim,
+        entries,
+        windows: ruint("windows")?,
+        extracted: ruint("extracted")?,
+        reused: ruint("reused")?,
+        workers: ruint("workers")?,
+        wall_seconds: report.get("wall_seconds").and_then(Value::as_f64).unwrap_or(0.0),
+        cache: cache_stats_from_value(
+            result.get("cache").ok_or_else(|| proto_err("chip missing 'cache'"))?,
+        )
+        .map_err(|e| proto_err(e.message))?,
+        window_cache: cache_stats_from_value(
+            result.get("window_cache").ok_or_else(|| proto_err("chip missing 'window_cache'"))?,
+        )
+        .map_err(|e| proto_err(e.message))?,
     })
 }
 
@@ -336,6 +469,47 @@ impl Client {
         Ok(replies)
     }
 
+    /// Full-chip windowed extraction (protocol v4): the daemon
+    /// partitions the layout into `nx × ny` overlapping windows,
+    /// extracts each one (reusing its process-lifetime window cache,
+    /// which makes a re-sent revision incremental), and answers with
+    /// the stitched *sparse* chip matrix. A pre-v4 daemon rejects the
+    /// unknown `chip` op with a `bad-request` error — it never degrades
+    /// silently.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] with code `busy` under daemon overload,
+    /// `geometry` for unusable layouts or partitions, `extraction` when
+    /// a window fails, `bad-request` from pre-v4 daemons; transport
+    /// errors as [`Client::extract`].
+    pub fn chip(&mut self, geo: &Geometry, options: &ChipOptions) -> Result<ChipReply, ServeError> {
+        self.chip_text(&write_geometry(geo), options)
+    }
+
+    /// Like [`Client::chip`], for geometry already in the
+    /// `bemcap_geom::io` text format.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::chip`].
+    pub fn chip_text(
+        &mut self,
+        geometry: &str,
+        options: &ChipOptions,
+    ) -> Result<ChipReply, ServeError> {
+        let id = self.fresh_id();
+        let result = self.roundtrip(&Request::Chip {
+            id: Some(id),
+            geometry: geometry.to_string(),
+            options: options.extract,
+            nx: options.nx,
+            ny: options.ny,
+            halo: options.halo,
+        })?;
+        decode_chip_result(&result)
+    }
+
     /// Liveness probe; checks the daemon speaks at least this client's
     /// protocol version (the protocol evolves additively, so a newer
     /// daemon still serves every op this client can send).
@@ -396,6 +570,15 @@ impl Client {
                 result.get("exec").ok_or_else(|| proto_err("stats missing 'exec'"))?,
             )
             .map_err(|e| proto_err(e.message))?,
+            // Additive v4 fields: lenient decode so older daemons work.
+            window_cache: result
+                .get("window_cache")
+                .and_then(|v| cache_stats_from_value(v).ok())
+                .unwrap_or_default(),
+            window_cache_entries: result
+                .get("window_cache_entries")
+                .and_then(Value::as_u64)
+                .unwrap_or(0) as usize,
         })
     }
 
@@ -445,7 +628,8 @@ impl Client {
                     | Request::Stats { id }
                     | Request::Shutdown { id }
                     | Request::Extract { id, .. }
-                    | Request::Batch { id, .. } => *id,
+                    | Request::Batch { id, .. }
+                    | Request::Chip { id, .. } => *id,
                 };
                 if let Some(want) = expected {
                     let got = response.get("id").and_then(Value::as_u64);

@@ -32,7 +32,17 @@ use serde_json::{json, Value};
 /// `precond`, `auto_budget`); result `report`s carry `workers` and, for
 /// iterative backends, a `solver` record (iterations, restarts,
 /// residual). Version-2 frames still decode unchanged.
-pub const PROTOCOL_VERSION: u64 = 3;
+///
+/// Version 4 (additive): the `chip` op — full-chip windowed extraction.
+/// A `chip` request carries one geometry, the shared solver-option
+/// fields, an optional `windows` `[nx, ny]` grid (default `[2, 2]`) and
+/// an optional `halo` margin; the result is a *sparse* chip matrix
+/// (`entries` triplets instead of a dense `matrix`), a windowing
+/// `report`, and the daemon's window-cache counters. The daemon `stats`
+/// response gains a `window_cache` section. Version-3 frames still
+/// decode unchanged; pre-v4 daemons answer `chip` with a `bad-request`
+/// error, so clients fail loudly instead of degrading.
+pub const PROTOCOL_VERSION: u64 = 4;
 
 /// Machine-readable error codes of structured error responses.
 pub mod codes {
@@ -78,6 +88,25 @@ pub enum Request {
         geometries: Vec<String>,
         /// Solver configuration, shared by every geometry in the frame.
         options: ExtractOptions,
+    },
+    /// Full-chip windowed extraction (v4): partition the geometry into
+    /// an overlapping window grid, extract every window on the daemon's
+    /// shared executor (reusing its process-lifetime window cache), and
+    /// answer with the stitched sparse chip matrix.
+    Chip {
+        /// Client-chosen correlation id, echoed in the response.
+        id: Option<u64>,
+        /// Geometry in the `bemcap_geom::io` text format.
+        geometry: String,
+        /// Solver configuration, shared by every window.
+        options: ExtractOptions,
+        /// Window grid columns (wire field `windows: [nx, ny]`).
+        nx: usize,
+        /// Window grid rows.
+        ny: usize,
+        /// Halo margin around each core tile in layout units
+        /// (`None` = the partitioner's default).
+        halo: Option<f64>,
     },
     /// Liveness / version probe.
     Ping {
@@ -244,10 +273,44 @@ fn decode_op(v: &Value, id: Option<u64>) -> Result<Request, WireError> {
                 .ok_or_else(|| WireError::bad("'geometries' entries must be strings"))?;
             Ok(Request::Batch { id, geometries, options: decode_options(v)? })
         }
+        "chip" => {
+            let geometry = v
+                .get("geometry")
+                .and_then(Value::as_str)
+                .ok_or_else(|| WireError::bad("'chip' needs a string 'geometry' field"))?
+                .to_string();
+            let (nx, ny) = decode_window_grid(v)?;
+            let halo =
+                match v.get("halo").filter(|h| !h.is_null()) {
+                    None => None,
+                    Some(h) => Some(h.as_f64().filter(|x| x.is_finite() && *x >= 0.0).ok_or_else(
+                        || WireError::bad("'halo' must be a finite non-negative number"),
+                    )?),
+                };
+            Ok(Request::Chip { id, geometry, options: decode_options(v)?, nx, ny, halo })
+        }
         other => Err(WireError::bad(format!(
-            "unknown op '{other}' (expected extract, batch, ping, stats or shutdown)"
+            "unknown op '{other}' (expected extract, batch, chip, ping, stats or shutdown)"
         ))),
     }
+}
+
+/// Decodes a `chip` request's optional `windows: [nx, ny]` field
+/// (default `[2, 2]`, matching the engine's default partition).
+fn decode_window_grid(v: &Value) -> Result<(usize, usize), WireError> {
+    let Some(w) = v.get("windows").filter(|w| !w.is_null()) else {
+        return Ok((2, 2));
+    };
+    let entries = w
+        .as_array()
+        .filter(|entries| entries.len() == 2)
+        .ok_or_else(|| WireError::bad("'windows' must be a two-entry [nx, ny] array"))?;
+    let grid: Vec<usize> = entries
+        .iter()
+        .map(|n| n.as_u64().filter(|&n| n > 0).map(|n| n as usize))
+        .collect::<Option<_>>()
+        .ok_or_else(|| WireError::bad("'windows' entries must be positive integers"))?;
+    Ok((grid[0], grid[1]))
 }
 
 fn obj_f64(v: &Value, ctx: &str, name: &str) -> Result<f64, WireError> {
@@ -396,6 +459,23 @@ pub fn encode_request(req: &Request) -> String {
                 "geometries": Value::Array(
                     geometries.iter().map(|g| Value::String(g.clone())).collect()
                 ),
+                "method": method_name(options.method),
+                "accelerated": options.accelerated,
+                "mesh_divisions": options.mesh_divisions,
+            });
+            push_backend_options(&mut v, options);
+            v
+        }
+        Request::Chip { id, geometry, options, nx, ny, halo } => {
+            let mut v = json!({
+                "op": "chip",
+                "id": *id,
+                "geometry": geometry.as_str(),
+                "windows": Value::Array(vec![
+                    Value::Number(*nx as f64),
+                    Value::Number(*ny as f64),
+                ]),
+                "halo": halo.map_or(Value::Null, Value::Number),
                 "method": method_name(options.method),
                 "accelerated": options.accelerated,
                 "mesh_divisions": options.mesh_divisions,
@@ -576,6 +656,22 @@ mod tests {
                 id: Some(5),
                 geometries: vec!["conductor a\nbox 0 0 0 1 1 1\n".into()],
                 options: ExtractOptions::default(),
+            },
+            Request::Chip {
+                id: Some(6),
+                geometry: "conductor a\nbox 0 0 0 1 1 1\n".into(),
+                options: ExtractOptions { method: Method::PwcDense, ..Default::default() },
+                nx: 3,
+                ny: 2,
+                halo: Some(2.5e-6),
+            },
+            Request::Chip {
+                id: None,
+                geometry: "conductor a\nbox 0 0 0 1 1 1\n".into(),
+                options: ExtractOptions::default(),
+                nx: 2,
+                ny: 2,
+                halo: None,
             },
         ];
         for req in reqs {
@@ -773,6 +869,41 @@ mod tests {
                 .code,
             codes::BAD_REQUEST
         );
+    }
+
+    #[test]
+    fn chip_requests_decode_with_defaults_and_reject_bad_shapes() {
+        // Minimal frame: default 2×2 grid, default halo, default options.
+        match decode_request(r#"{"op":"chip","geometry":"g"}"#).unwrap() {
+            Request::Chip { nx, ny, halo, options, .. } => {
+                assert_eq!((nx, ny), (2, 2));
+                assert_eq!(halo, None);
+                assert_eq!(options, ExtractOptions::default());
+            }
+            other => panic!("expected chip, got {other:?}"),
+        }
+        // Null windows and halo mean the defaults, like every optional.
+        match decode_request(r#"{"op":"chip","geometry":"g","windows":null,"halo":null}"#).unwrap()
+        {
+            Request::Chip { nx, ny, halo, .. } => {
+                assert_eq!((nx, ny, halo), (2, 2, None));
+            }
+            other => panic!("expected chip, got {other:?}"),
+        }
+        let bad = [
+            r#"{"op":"chip"}"#,
+            r#"{"op":"chip","geometry":"g","windows":[2]}"#,
+            r#"{"op":"chip","geometry":"g","windows":[2,2,2]}"#,
+            r#"{"op":"chip","geometry":"g","windows":[0,2]}"#,
+            r#"{"op":"chip","geometry":"g","windows":"2x2"}"#,
+            r#"{"op":"chip","geometry":"g","windows":[2,"2"]}"#,
+            r#"{"op":"chip","geometry":"g","halo":-1.0}"#,
+            r#"{"op":"chip","geometry":"g","halo":"wide"}"#,
+            r#"{"op":"chip","geometry":"g","method":"magic"}"#,
+        ];
+        for line in bad {
+            assert_eq!(decode_request(line).unwrap_err().code, codes::BAD_REQUEST, "{line}");
+        }
     }
 
     #[test]

@@ -46,6 +46,7 @@ use std::time::{Duration, Instant};
 
 use bemcap_core::batch::default_pool_size;
 use bemcap_core::cache::TemplateCache;
+use bemcap_core::chip::{ChipExtractor, WindowCache};
 use bemcap_core::exec::{default_queue_depth, ExecConfig, Executor, DEFAULT_COALESCE_LIMIT};
 use bemcap_core::{BatchJob, CoreError, Extractor, Submission};
 use bemcap_geom::io::parse_geometry;
@@ -81,6 +82,10 @@ pub struct ServerConfig {
     /// Most jobs one coalesced micro-batch may hold (1 disables request
     /// coalescing). Default 16.
     pub coalesce_limit: usize,
+    /// Memory bound of the shared per-window result cache that makes
+    /// `chip` re-extraction incremental (`None` = unbounded).
+    /// Default 64 MiB.
+    pub window_cache_max_bytes: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +97,7 @@ impl Default for ServerConfig {
             max_frame_bytes: 8 << 20,
             queue_depth: default_queue_depth(),
             coalesce_limit: DEFAULT_COALESCE_LIMIT,
+            window_cache_max_bytes: Some(64 << 20),
         }
     }
 }
@@ -99,7 +105,8 @@ impl Default for ServerConfig {
 struct ServerState {
     cfg: ServerConfig,
     cache: Arc<TemplateCache>,
-    executor: Executor,
+    window_cache: Arc<WindowCache>,
+    executor: Arc<Executor>,
     shutdown: AtomicBool,
     requests: AtomicU64,
     connections: AtomicU64,
@@ -155,14 +162,19 @@ impl Server {
             Some(bytes) => TemplateCache::with_max_bytes(bytes),
             None => TemplateCache::unbounded(),
         });
-        let executor = Executor::new(ExecConfig {
+        let window_cache = Arc::new(match cfg.window_cache_max_bytes {
+            Some(bytes) => WindowCache::with_max_bytes(bytes),
+            None => WindowCache::unbounded(),
+        });
+        let executor = Arc::new(Executor::new(ExecConfig {
             workers: cfg.workers,
             queue_depth: cfg.queue_depth,
             coalesce_limit: cfg.coalesce_limit,
-        });
+        }));
         let state = Arc::new(ServerState {
             cfg,
             cache,
+            window_cache,
             executor,
             shutdown: AtomicBool::new(false),
             requests: AtomicU64::new(0),
@@ -388,6 +400,10 @@ fn dispatch(state: &ServerState, line: &str) -> String {
                     "cache_entries": cache.len(),
                     "cache_resident_bytes": cache.resident_bytes(),
                     "cache_max_bytes": cache.max_bytes(),
+                    "window_cache": cache_stats_value(&state.window_cache.lifetime()),
+                    "window_cache_entries": state.window_cache.len(),
+                    "window_cache_resident_bytes": state.window_cache.resident_bytes(),
+                    "window_cache_max_bytes": state.window_cache.max_bytes(),
                     "uptime_seconds": state.started.elapsed().as_secs_f64(),
                     "requests": state.requests.load(Ordering::Relaxed) as f64,
                     "connections": state.connections.load(Ordering::Relaxed) as f64,
@@ -414,6 +430,12 @@ fn dispatch(state: &ServerState, line: &str) -> String {
             Ok(result) => ok_response(id, result),
             Err(e) => error_response(id, e.code, &e.message),
         },
+        Request::Chip { id, geometry, options, nx, ny, halo } => {
+            match chip(state, &geometry, options, nx, ny, halo) {
+                Ok(result) => ok_response(id, result),
+                Err(e) => error_response(id, e.code, &e.message),
+            }
+        }
     }
 }
 
@@ -572,6 +594,60 @@ fn batch(
     }))
 }
 
+/// Runs a full-chip windowed extraction (v4 `chip` op) on the daemon's
+/// shared executor, reusing its process-lifetime window and
+/// pair-integral caches — so an unchanged layout re-requested later (an
+/// ECO flow over the wire) reuses every untouched window.
+fn chip(
+    state: &ServerState,
+    geometry: &str,
+    options: ExtractOptions,
+    nx: usize,
+    ny: usize,
+    halo: Option<f64>,
+) -> Result<Value, DispatchError> {
+    let geo = parse_job(geometry, None)?;
+    let mut chip = ChipExtractor::new(request_extractor(options))
+        .windows(nx, ny)
+        .executor(Arc::clone(&state.executor))
+        .window_cache(Arc::clone(&state.window_cache))
+        .shared_cache(Arc::clone(&state.cache));
+    if let Some(h) = halo {
+        chip = chip.halo(h);
+    }
+    let full = chip.extract(&geo).map_err(|e| match e {
+        CoreError::Busy { .. } => DispatchError { code: codes::BUSY, message: e.to_string() },
+        CoreError::Geometry(_) => DispatchError { code: codes::GEOMETRY, message: e.to_string() },
+        other => DispatchError { code: codes::EXTRACTION, message: other.to_string() },
+    })?;
+    let c = full.capacitance();
+    let report = full.report();
+    let entries: Vec<Value> = c
+        .matrix()
+        .iter()
+        .map(|(i, j, v)| {
+            Value::Array(vec![Value::Number(i as f64), Value::Number(j as f64), Value::Number(v)])
+        })
+        .collect();
+    Ok(json!({
+        "names": c.names().to_vec(),
+        "dim": c.dim(),
+        "entries": Value::Array(entries),
+        "report": json!({
+            "windows": report.windows,
+            "extracted": report.extracted,
+            "reused": report.reused,
+            "nnz": report.nnz,
+            "workers": report.workers,
+            "wall_seconds": report.wall_seconds,
+            "busy_seconds": report.busy_seconds,
+            "queue_seconds": report.queue_seconds,
+        }),
+        "cache": cache_stats_value(&report.template_cache),
+        "window_cache": cache_stats_value(&report.window_cache),
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -580,13 +656,14 @@ mod tests {
         let cfg =
             ServerConfig { max_frame_bytes: max_frame, workers: 1, ..ServerConfig::default() };
         ServerState {
-            executor: Executor::new(ExecConfig {
+            executor: Arc::new(Executor::new(ExecConfig {
                 workers: cfg.workers,
                 queue_depth: cfg.queue_depth,
                 coalesce_limit: cfg.coalesce_limit,
-            }),
+            })),
             cfg,
             cache: Arc::new(TemplateCache::unbounded()),
+            window_cache: Arc::new(WindowCache::unbounded()),
             shutdown: AtomicBool::new(false),
             requests: AtomicU64::new(0),
             connections: AtomicU64::new(0),
@@ -676,6 +753,48 @@ mod tests {
         let v =
             serde_json::from_str(&dispatch(&state, r#"{"op":"batch","geometries":[]}"#)).unwrap();
         assert_eq!(v["result"]["results"].as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn dispatch_chip_extracts_and_reuses_windows() {
+        let state = test_state(1 << 20);
+        let geo = "conductor a\\nbox 0 0 0 1e-6 1e-6 1e-6\\nconductor b\\nbox 4e-6 0 0 5e-6 1e-6 1e-6\\nconductor c\\nbox 0 4e-6 0 1e-6 5e-6 1e-6\\n";
+        let line =
+            format!(r#"{{"op":"chip","id":7,"geometry":"{geo}","windows":[2,2],"halo":2e-6}}"#);
+        let v = serde_json::from_str(&dispatch(&state, &line)).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(true), "{v:?}");
+        let result = &v["result"];
+        assert_eq!(result["dim"].as_u64(), Some(3));
+        assert_eq!(result["names"].as_array().unwrap().len(), 3);
+        let entries = result["entries"].as_array().unwrap();
+        assert_eq!(entries.len() as u64, result["report"]["nnz"].as_u64().unwrap());
+        assert!(entries.iter().all(|e| e.as_array().unwrap().len() == 3));
+        // Diagonal entries are positive self-capacitances.
+        let diag: Vec<f64> = entries
+            .iter()
+            .map(|e| e.as_array().unwrap())
+            .filter(|e| e[0].as_u64() == e[1].as_u64())
+            .map(|e| e[2].as_f64().unwrap())
+            .collect();
+        assert_eq!(diag.len(), 3);
+        assert!(diag.iter().all(|&d| d > 0.0), "{diag:?}");
+        let windows = result["report"]["windows"].as_u64().unwrap();
+        assert_eq!(result["report"]["extracted"].as_u64(), Some(windows));
+
+        // The same frame again: the daemon's window cache answers it.
+        let v = serde_json::from_str(&dispatch(&state, &line)).unwrap();
+        assert_eq!(v["result"]["report"]["extracted"].as_u64(), Some(0), "{v:?}");
+        assert_eq!(v["result"]["report"]["reused"].as_u64(), Some(windows));
+
+        // Stats now expose the resident window cache.
+        let v = serde_json::from_str(&dispatch(&state, r#"{"op":"stats"}"#)).unwrap();
+        assert!(v["result"]["window_cache_entries"].as_u64().unwrap() >= 1);
+        assert!(v["result"]["window_cache"]["hits"].as_u64().unwrap() >= 1);
+
+        // Bad geometry and bad partition map to the geometry code.
+        let v = serde_json::from_str(&dispatch(&state, r#"{"op":"chip","geometry":"broken"}"#))
+            .unwrap();
+        assert_eq!(v["error"]["code"].as_str(), Some(codes::GEOMETRY));
     }
 
     #[test]

@@ -46,10 +46,16 @@ pub use bemcap_serve as serve;
 pub mod prelude {
     pub use bemcap_core::{
         Backend, BatchExtractor, BatchJob, BatchPoint, BatchReport, BatchResult, CacheStats,
-        CapacitanceMatrix, ExecConfig, ExecStats, Executor, Extraction, ExtractionReport,
-        Extractor, FmmConfig, JobReport, KrylovConfig, Method, PfftConfig, PrecondKind,
-        SolverStats, TemplateCache,
+        CapacitanceMatrix, ChipCapacitance, ChipExtraction, ChipExtractor, ChipReport, ExecConfig,
+        ExecStats, Executor, Extraction, ExtractionReport, Extractor, FmmConfig, JobReport,
+        KrylovConfig, Method, PfftConfig, PrecondKind, SolverStats, TemplateCache, WindowCache,
     };
-    pub use bemcap_geom::{structures, Box3, Conductor, Geometry, Mesh, Panel, Point3};
-    pub use bemcap_serve::{Client, ExtractOptions, ServeError, Server, ServerConfig};
+    pub use bemcap_geom::{
+        structures, Box3, Conductor, Geometry, GeometryDiff, Layout, Mesh, Panel, Partition,
+        PartitionConfig, Point3, Rect, Window,
+    };
+    pub use bemcap_linalg::SparseMatrix;
+    pub use bemcap_serve::{
+        ChipOptions, ChipReply, Client, ExtractOptions, ServeError, Server, ServerConfig,
+    };
 }

@@ -1,0 +1,23 @@
+//! Shared helpers of the integration-test tree.
+
+use std::time::{Duration, Instant};
+
+/// How long [`wait_until`] keeps polling before failing the test.
+pub const WAIT_DEADLINE: Duration = Duration::from_secs(60);
+
+/// Polls `probe` with a small backoff until it returns `true`, failing
+/// the test with a message naming `what` once [`WAIT_DEADLINE`] passes.
+///
+/// The bounded replacement for fixed-sleep polling loops: on a fast
+/// machine the wait ends at the first true probe, on a loaded CI box it
+/// keeps trying for the full deadline instead of flaking.
+pub fn wait_until(what: &str, mut probe: impl FnMut() -> bool) {
+    let deadline = Instant::now() + WAIT_DEADLINE;
+    while !probe() {
+        assert!(
+            Instant::now() < deadline,
+            "timed out after {WAIT_DEADLINE:?} waiting until {what}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}

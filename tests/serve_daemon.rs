@@ -12,6 +12,9 @@ use std::sync::Arc;
 use bemcap::prelude::*;
 use bemcap_serve::{ServeError, ServerHandle};
 
+mod common;
+use common::wait_until;
+
 /// The golden-fixture geometries of `tests/golden/` (same constructors
 /// as `tests/golden_reference.rs`).
 fn golden_geometries() -> Vec<(&'static str, Geometry)> {
@@ -133,7 +136,6 @@ fn wire_batch_op_is_bit_identical_to_single_shot() {
 
 #[test]
 fn overloaded_daemon_answers_busy_and_recovers() {
-    use std::time::{Duration, Instant};
     // One worker, one queue slot, no coalescing: the third concurrent
     // request must be refused with a structured `busy` error.
     let server = spawn_server(ServerConfig {
@@ -147,41 +149,35 @@ fn overloaded_daemon_answers_busy_and_recovers() {
     let slow_geo = structures::bus_crossing(3, 3, structures::BusParams::default());
     let wait_geo = structures::crossing_wires(structures::CrossingParams::default());
 
+    // Connect every client up front: the daemon's accept loop polls on
+    // a tick, so a fresh TCP connect can cost a whole tick — paying it
+    // inside the worker-busy window would make the queue race flaky on
+    // a fast machine (the slow job could finish before the second
+    // request ever arrived).
+    let mut slow_client = Client::connect(addr).expect("slow client connect");
+    let mut queued_client = Client::connect(addr).expect("queued client connect");
+    let mut probe = Client::connect(addr).expect("probe connect");
+
     // Occupy the worker with a long extraction on its own connection.
     let slow = {
         let geo = slow_geo.clone();
         std::thread::spawn(move || {
-            let mut c = Client::connect(addr).expect("slow client connect");
-            c.extract(&geo, &ExtractOptions::default()).expect("slow extraction succeeds")
+            slow_client.extract(&geo, &ExtractOptions::default()).expect("slow extraction succeeds")
         })
     };
-    let mut probe = Client::connect(addr).expect("probe connect");
-    let deadline = Instant::now() + Duration::from_secs(60);
-    loop {
-        let s = probe.stats().expect("stats");
-        if s.running >= 1 {
-            break;
-        }
-        assert!(Instant::now() < deadline, "slow job never started running");
-        std::thread::sleep(Duration::from_millis(2));
-    }
+    wait_until("the slow job is running", || probe.stats().expect("stats").running >= 1);
 
-    // Fill the single queue slot from a second connection.
+    // Fill the single queue slot from the second (already-open)
+    // connection.
     let queued = {
         let geo = wait_geo.clone();
         std::thread::spawn(move || {
-            let mut c = Client::connect(addr).expect("queued client connect");
-            c.extract(&geo, &ExtractOptions::default()).expect("queued extraction succeeds")
+            queued_client
+                .extract(&geo, &ExtractOptions::default())
+                .expect("queued extraction succeeds")
         })
     };
-    loop {
-        let s = probe.stats().expect("stats");
-        if s.queued >= 1 {
-            break;
-        }
-        assert!(Instant::now() < deadline, "second job never queued");
-        std::thread::sleep(Duration::from_millis(2));
-    }
+    wait_until("the second job is queued", || probe.stats().expect("stats").queued >= 1);
 
     // Worker busy + queue full: the probe's extraction must be refused
     // immediately with the busy code, not block.
