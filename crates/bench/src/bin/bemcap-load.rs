@@ -22,8 +22,12 @@
 //! cargo run --release -p bemcap-bench --bin bemcap-load -- \
 //!     [--addr HOST:PORT] [--clients N] [--passes N] [--workers N]
 //!     [--cache-mb N] [--queue N] [--coalesce N]
-//!     [--overload] [--requests N] [--shutdown]
+//!     [--overload] [--requests N] [--metrics] [--shutdown]
 //! ```
+//!
+//! `--metrics` scrapes the daemon's v5 `metrics` op before and after the
+//! run and prints each counter's delta plus the final Prometheus text
+//! exposition — the greppable proof that the instrumentation moved.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -31,11 +35,11 @@ use std::time::Instant;
 use bemcap_bench::fmt_seconds;
 use bemcap_geom::structures::{self, BusParams, CrossingParams};
 use bemcap_geom::Geometry;
-use bemcap_serve::{Client, ExtractOptions, ServeError, Server, ServerConfig};
+use bemcap_serve::{Client, ExtractOptions, MetricsReply, ServeError, Server, ServerConfig};
 
 const USAGE: &str = "usage: bemcap-load [--addr HOST:PORT] [--clients N] [--passes N] \
                      [--workers N] [--cache-mb N] [--queue N] [--coalesce N] \
-                     [--overload] [--requests N] [--shutdown]";
+                     [--overload] [--requests N] [--metrics] [--shutdown]";
 
 struct Args {
     addr: Option<String>,
@@ -47,6 +51,7 @@ struct Args {
     coalesce: usize,
     overload: bool,
     requests: usize,
+    metrics: bool,
     shutdown: bool,
 }
 
@@ -62,6 +67,7 @@ impl Default for Args {
             coalesce: 16,
             overload: false,
             requests: 40,
+            metrics: false,
             shutdown: false,
         }
     }
@@ -89,6 +95,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--coalesce" => args.coalesce = positive("--coalesce", value("--coalesce")?)?,
             "--overload" => args.overload = true,
             "--requests" => args.requests = positive("--requests", value("--requests")?)?,
+            "--metrics" => args.metrics = true,
             "--shutdown" => args.shutdown = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
@@ -348,6 +355,18 @@ fn overload_main(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Prints each counter's movement over the run, then the full scrape —
+/// output a CI job can grep both for metric names and for motion.
+fn print_metrics_delta(before: &MetricsReply, after: &MetricsReply) {
+    println!("daemon metrics (counter deltas over this run):");
+    for (name, value) in &after.counters {
+        let was = before.counter(name).unwrap_or(0);
+        println!("  {name} {was} -> {value} (+{})", value.saturating_sub(was));
+    }
+    println!("daemon metrics exposition:");
+    print!("{}", after.text);
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -358,6 +377,9 @@ fn main() -> ExitCode {
         }
     };
     if args.overload {
+        if args.metrics {
+            eprintln!("bemcap-load: note: --metrics is ignored with --overload");
+        }
         return match overload_main(&args) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
@@ -404,6 +426,21 @@ fn main() -> ExitCode {
             );
             (handle.addr().to_string(), Some(handle))
         }
+    };
+
+    // Scrape before any traffic so the final report can print exact
+    // per-run deltas — the registry is process-lifetime, so an external
+    // daemon's counters may start well above zero.
+    let metrics_before = if args.metrics {
+        match Client::connect(addr.as_str()).and_then(|mut c| c.metrics()) {
+            Ok(m) => Some(m),
+            Err(e) => {
+                eprintln!("bemcap-load: metrics scrape failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
     };
 
     let family = scenarios();
@@ -469,6 +506,10 @@ fn main() -> ExitCode {
             "daemon executor: {} (queue depth {}, window {})",
             stats.exec, stats.queue_depth, stats.coalesce_limit
         );
+        if let Some(before) = &metrics_before {
+            let after = client.metrics().map_err(|e| e.to_string())?;
+            print_metrics_delta(before, &after);
+        }
         if stop {
             client.shutdown().map_err(|e| e.to_string())?;
         }

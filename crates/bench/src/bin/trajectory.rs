@@ -10,7 +10,7 @@
 //!
 //! ```text
 //! cargo run --release -p bemcap-bench --bin trajectory -- \
-//!     [--quick] [--out PATH] [--baseline PATH]
+//!     [--quick] [--out PATH] [--baseline PATH] [--metrics]
 //! ```
 //!
 //! `--quick` runs a trimmed matrix sized for CI; baselines should be
@@ -30,7 +30,7 @@ use bemcap_geom::{Conductor, Geometry, GeometryDiff, Point3};
 use bemcap_serve::{Client, ExtractOptions, Server, ServerConfig};
 use serde_json::{json, Value};
 
-const USAGE: &str = "usage: trajectory [--quick] [--out PATH] [--baseline PATH]";
+const USAGE: &str = "usage: trajectory [--quick] [--out PATH] [--baseline PATH] [--metrics]";
 
 /// Record format tag; bump when the scenario matrix changes shape.
 const SCHEMA: &str = "bemcap-trajectory/1";
@@ -43,6 +43,7 @@ struct Args {
     quick: bool,
     out: PathBuf,
     baseline: Option<PathBuf>,
+    metrics: bool,
 }
 
 fn default_out() -> PathBuf {
@@ -52,7 +53,7 @@ fn default_out() -> PathBuf {
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
-    let mut args = Args { quick: false, out: default_out(), baseline: None };
+    let mut args = Args { quick: false, out: default_out(), baseline: None, metrics: false };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let mut value =
@@ -61,6 +62,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--quick" => args.quick = true,
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--metrics" => args.metrics = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
         }
@@ -236,6 +238,22 @@ fn record(quick: bool, scenarios: &[Scenario]) -> Value {
     })
 }
 
+/// Relative aggregate change of `total` over `base_total`, rejecting
+/// degenerate baselines. A hand-edited or truncated record can carry a
+/// zero, negative, or non-finite `total_seconds`; dividing by it would
+/// turn the regression gate into `NaN > limit` (never true) or
+/// `inf > limit` (always true) — either way a silent lie. Fail loudly
+/// and name the fix instead.
+fn aggregate_change(total: f64, base_total: f64) -> Result<f64, String> {
+    if !base_total.is_finite() || base_total <= 0.0 {
+        return Err(format!(
+            "baseline total_seconds is {base_total}, which cannot anchor a regression gate \
+             (expected a finite value > 0); regenerate the baseline record"
+        ));
+    }
+    Ok((total - base_total) / base_total)
+}
+
 /// Compares the fresh run against a committed baseline record. Per-
 /// scenario deltas are informational; the gate is the aggregate.
 fn compare(baseline_path: &PathBuf, scenarios: &[Scenario]) -> Result<(), String> {
@@ -277,7 +295,7 @@ fn compare(baseline_path: &PathBuf, scenarios: &[Scenario]) -> Result<(), String
     }
 
     let total: f64 = scenarios.iter().map(|s| s.seconds).sum();
-    let change = (total - base_total) / base_total;
+    let change = aggregate_change(total, base_total)?;
     println!(
         "aggregate: {} -> {} ({:+.1} %, limit +{:.0} %)",
         fmt_seconds(base_total),
@@ -321,6 +339,14 @@ fn main() -> ExitCode {
     let total: f64 = scenarios.iter().map(|s| s.seconds).sum();
     println!("total: {}", fmt_seconds(total));
 
+    if args.metrics {
+        // The whole matrix ran in this process, so the global registry
+        // now holds the instrumentation counters of every scenario
+        // (including the in-process daemon's).
+        println!("\nmetrics after the run:");
+        print!("{}", bemcap_core::metrics::Registry::global().render_prometheus());
+    }
+
     let value = record(args.quick, &scenarios);
     let text = serde_json::to_string_pretty(&value).expect("serialize record");
     if let Err(e) = std::fs::write(&args.out, text + "\n") {
@@ -336,4 +362,31 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_change_computes_the_relative_delta() {
+        assert_eq!(aggregate_change(1.2, 1.0).unwrap(), 0.19999999999999996);
+        assert_eq!(aggregate_change(0.5, 1.0).unwrap(), -0.5);
+        assert_eq!(aggregate_change(2.0, 2.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_baselines_fail_the_gate_loudly() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = aggregate_change(1.0, bad).unwrap_err();
+            assert!(err.contains("regenerate the baseline"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn metrics_flag_parses() {
+        let args = parse_args(&["--quick".into(), "--metrics".into()]).unwrap();
+        assert!(args.quick && args.metrics);
+        assert!(!parse_args(&[]).unwrap().metrics);
+    }
 }

@@ -36,6 +36,7 @@ use std::sync::Mutex;
 
 use bemcap_basis::TemplateKey;
 
+use crate::metrics::metrics;
 use crate::report::CacheStats;
 
 /// A cache key: the ordered pair of template identities of one Galerkin
@@ -49,6 +50,12 @@ pub type PairKey = (TemplateKey, TemplateKey);
 pub const ENTRY_BYTES: usize = 192;
 
 const SHARDS: usize = 32;
+
+/// The smallest bound [`TemplateCache::with_max_bytes`] actually
+/// enforces: one entry per shard (`SHARDS * ENTRY_BYTES`). Budgets below
+/// this floor are rounded up to it, so the cache always absorbs repeated
+/// lookups; [`TemplateCache::max_bytes`] reports the effective bound.
+pub const MIN_MAX_BYTES: usize = SHARDS * ENTRY_BYTES;
 
 /// Fraction of a full shard evicted in one sweep (a quarter): large
 /// enough to amortize the O(n) epoch scan, small enough to keep the hot
@@ -114,8 +121,12 @@ impl TemplateCache {
     }
 
     /// A cache bounded to approximately `max_bytes` resident bytes
-    /// ([`ENTRY_BYTES`] per entry). Every bound, however small, leaves at
-    /// least one entry per shard so the cache still absorbs repeats.
+    /// ([`ENTRY_BYTES`] per entry). The budget is rounded **down** to a
+    /// whole number of entries per shard, but never below one entry per
+    /// shard: any `max_bytes` under [`MIN_MAX_BYTES`] (including 0) is
+    /// silently raised to that floor so the cache still absorbs repeats.
+    /// [`TemplateCache::max_bytes`] reports the bound actually enforced,
+    /// which may therefore differ from `max_bytes` in either direction.
     pub fn with_max_bytes(max_bytes: usize) -> TemplateCache {
         TemplateCache::build(Some((max_bytes / ENTRY_BYTES / SHARDS).max(1)))
     }
@@ -131,8 +142,9 @@ impl TemplateCache {
         }
     }
 
-    /// The configured memory bound in bytes (`None` = unbounded),
-    /// as rounded to the per-shard entry budget actually enforced.
+    /// The effective memory bound in bytes (`None` = unbounded): the
+    /// per-shard entry budget actually enforced, after the rounding and
+    /// the [`MIN_MAX_BYTES`] floor of [`TemplateCache::with_max_bytes`].
     pub fn max_bytes(&self) -> Option<usize> {
         self.shard_cap.map(|cap| cap * SHARDS * ENTRY_BYTES)
     }
@@ -187,10 +199,12 @@ impl TemplateCache {
         if let Some(entry) = shard.lock().expect("template cache poisoned").get_mut(&key) {
             entry.last_used = now;
             self.hits.fetch_add(1, Ordering::Relaxed);
+            metrics().template_cache_hits.inc();
             return (entry.value, Lookup { hit: true, evicted: 0 });
         }
         let value = f();
         self.misses.fetch_add(1, Ordering::Relaxed);
+        metrics().template_cache_misses.inc();
         // Re-stamp after the computation: concurrent lookups advanced the
         // epoch while the integral ran, and stamping the stale `now` would
         // make the entry we just paid for look like the oldest in the
@@ -205,6 +219,7 @@ impl TemplateCache {
             if !map.contains_key(&key) && map.len() >= cap {
                 evicted = evict_lru(&mut map, cap);
                 self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+                metrics().template_cache_evictions.add(evicted as u64);
             }
         }
         map.insert(key, Entry { value, last_used: stamp });
@@ -310,6 +325,32 @@ mod tests {
         let (_, l1) = cache.get_or_compute(key(5), || 1.0);
         let (_, l2) = cache.get_or_compute(key(5), || unreachable!("repeat must hit"));
         assert!(!l1.hit && l2.hit);
+    }
+
+    #[test]
+    fn sub_floor_budgets_report_the_documented_floor() {
+        // A zero budget is legal: it clamps to the one-entry-per-shard
+        // floor, and max_bytes() reports that effective bound rather
+        // than echoing the request.
+        let zero = TemplateCache::with_max_bytes(0);
+        assert_eq!(zero.max_bytes(), Some(MIN_MAX_BYTES));
+        let (_, l1) = zero.get_or_compute(key(9), || 3.0);
+        let (v, l2) = zero.get_or_compute(key(9), || unreachable!("repeat must hit"));
+        assert!(!l1.hit && l2.hit);
+        assert_eq!(v, 3.0);
+
+        // Every budget under the floor lands exactly on the floor...
+        for budget in [1, ENTRY_BYTES - 1, ENTRY_BYTES, MIN_MAX_BYTES - 1] {
+            let cache = TemplateCache::with_max_bytes(budget);
+            assert_eq!(cache.max_bytes(), Some(MIN_MAX_BYTES), "budget {budget}");
+        }
+        // ...and the floor itself is representable exactly, as is any
+        // whole multiple of it.
+        assert_eq!(TemplateCache::with_max_bytes(MIN_MAX_BYTES).max_bytes(), Some(MIN_MAX_BYTES));
+        assert_eq!(
+            TemplateCache::with_max_bytes(4 * MIN_MAX_BYTES).max_bytes(),
+            Some(4 * MIN_MAX_BYTES)
+        );
     }
 
     #[test]

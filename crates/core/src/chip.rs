@@ -56,6 +56,7 @@ use crate::cache::TemplateCache;
 use crate::error::CoreError;
 use crate::exec::{ExecConfig, Executor, Ticket};
 use crate::extraction::Extractor;
+use crate::metrics::{metrics, Span};
 use crate::report::CacheStats;
 
 /// Cache identity of one extracted window: the solver-configuration
@@ -249,10 +250,12 @@ impl WindowCache {
             Some(entry) => {
                 entry.last_used = now;
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                metrics().window_cache_hits.inc();
                 Some(Arc::clone(&entry.result))
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                metrics().window_cache_misses.inc();
                 None
             }
         }
@@ -287,6 +290,8 @@ impl WindowCache {
         shard.map.insert(key, Entry { result, bytes, last_used: stamp });
         self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
         self.inserted_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        metrics().window_cache_evictions.add(evicted as u64);
+        metrics().window_cache_inserted_bytes.add(bytes as u64);
         evicted
     }
 }
@@ -647,6 +652,7 @@ impl ChipExtractor {
         // Stitch owned rows in window-index order. Ownership is a
         // partition of the conductors, so every (row, col) slot is
         // written by exactly one window and build order cannot matter.
+        let stitch_span = Span::enter(metrics().chip_stitch_nanos);
         let n = layout.conductor_count();
         let mut builder = SparseMatrix::builder(n, n);
         for w in part.windows() {
@@ -665,10 +671,16 @@ impl ChipExtractor {
             }
         }
         let c = builder.build();
+        drop(stitch_span);
         let names = layout.names().into_iter().map(str::to_string).collect();
         let nnz = c.nnz();
         let extracted = run_cache.misses;
         let reused = run_cache.hits;
+        // Non-empty windows only, so extracted + reused == windows holds
+        // for the metric triple even when the partition has empty tiles.
+        metrics().chip_windows.add((extracted + reused) as u64);
+        metrics().chip_windows_extracted.add(extracted as u64);
+        metrics().chip_windows_reused.add(reused as u64);
         Ok(ChipExtraction {
             capacitance: ChipCapacitance { names, c },
             report: ChipReport {

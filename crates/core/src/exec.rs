@@ -49,6 +49,7 @@ use crate::batch::{default_pool_size, BatchJob};
 use crate::cache::{TemplateCache, ENTRY_BYTES};
 use crate::error::CoreError;
 use crate::extraction::{CapacitanceMatrix, Extraction, Extractor, Method};
+use crate::metrics::metrics;
 use crate::report::{CacheStats, ExecStats, ExtractionReport};
 use crate::solver::solve_capacitance;
 
@@ -285,6 +286,7 @@ impl Executor {
         let (tx, rx) = mpsc::channel();
         if jobs.is_empty() {
             self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+            metrics().exec_submitted.inc();
             let _ = tx.send(Submission {
                 outcomes: Vec::new(),
                 queue_seconds: 0.0,
@@ -305,6 +307,7 @@ impl Executor {
             let queued = pending.waiting_jobs;
             drop(pending);
             self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            metrics().exec_rejected.inc();
             return Err(CoreError::Busy { queued, depth: cfg.queue_depth });
         }
         pending.waiting_jobs += n;
@@ -322,6 +325,8 @@ impl Executor {
                     drop(pending);
                     self.shared.submitted.fetch_add(1, Ordering::Relaxed);
                     self.shared.coalesced.fetch_add(1, Ordering::Relaxed);
+                    metrics().exec_submitted.inc();
+                    metrics().exec_coalesced.inc();
                     return Ok(Ticket { rx });
                 }
             }
@@ -343,6 +348,7 @@ impl Executor {
         }
         drop(pending);
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        metrics().exec_submitted.inc();
         let shared = Arc::clone(&self.shared);
         self.queue.push(move |worker| run_micro_batch(&shared, seq, worker));
         Ok(Ticket { rx })
@@ -385,6 +391,7 @@ fn run_micro_batch(shared: &Arc<Shared>, seq: u64, worker: usize) {
         batch
     };
     shared.micro_batches.fetch_add(1, Ordering::Relaxed);
+    metrics().exec_micro_batches.inc();
     if batch.extractor.is_accelerated() {
         // Build the §4.2.3 tables before the first job is billed for them.
         bemcap_accel::fastmath::warm_tables();
@@ -394,6 +401,7 @@ fn run_micro_batch(shared: &Arc<Shared>, seq: u64, worker: usize) {
     for sub in batch.submissions {
         let queue_seconds = sub.enqueued.elapsed().as_secs_f64();
         shared.queue_wait_nanos.fetch_add((queue_seconds * 1e9) as u64, Ordering::Relaxed);
+        metrics().exec_queue_wait_nanos.add((queue_seconds * 1e9) as u64);
         let mut outcomes = Vec::with_capacity(sub.jobs.len());
         for job in &sub.jobs {
             shared.pending.lock().expect("executor poisoned").waiting_jobs -= 1;
@@ -402,6 +410,7 @@ fn run_micro_batch(shared: &Arc<Shared>, seq: u64, worker: usize) {
             let result = run_job(&batch.extractor, &engine, batch.cache.as_deref(), &job.geometry);
             let seconds = t.elapsed().as_secs_f64();
             shared.jobs_run.fetch_add(1, Ordering::Relaxed);
+            metrics().exec_jobs.inc();
             shared.running.fetch_sub(1, Ordering::SeqCst);
             outcomes.push(JobOutcome { result, seconds, worker });
         }
@@ -460,6 +469,7 @@ fn extract_instantiable_cached(
     // indexing are part of the system-setup step, so the same request
     // reports the same split whether it runs direct or on the executor.
     let start = Instant::now();
+    let setup_span = crate::metrics::Span::enter(metrics().extract_setup_nanos);
     let set = instantiate(geo, extractor.instantiate_cfg())?;
     let index = TemplateIndex::new(&set);
     let n_cond = geo.conductor_count();
@@ -491,8 +501,13 @@ fn extract_instantiable_cached(
     }
     let phi = assembly::assemble_phi(engine, &set, n_cond);
     let setup_seconds = start.elapsed().as_secs_f64();
+    drop(setup_span);
     let memory = p.memory_bytes() + phi.memory_bytes();
-    let (c, solve_seconds) = solve_capacitance(p, &phi)?;
+    let (c, solve_seconds) = {
+        let _span = crate::metrics::Span::enter(metrics().extract_solve_nanos);
+        solve_capacitance(p, &phi)?
+    };
+    metrics().extractions.inc();
     let extraction = Extraction::from_parts(
         CapacitanceMatrix::from_parts(names, c),
         ExtractionReport {

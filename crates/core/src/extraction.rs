@@ -310,7 +310,10 @@ impl Extractor {
         let backend = self.backend();
         let engine = self.engine();
         let t = std::time::Instant::now();
-        let prepared = backend.prepare(&engine, geo)?;
+        let prepared = {
+            let _span = crate::metrics::Span::enter(crate::metrics::metrics().extract_setup_nanos);
+            backend.prepare(&engine, geo)?
+        };
         let setup_seconds = t.elapsed().as_secs_f64();
         let (method, n, m_templates, workers, memory_bytes) = (
             prepared.method_name().to_string(),
@@ -320,8 +323,12 @@ impl Extractor {
             prepared.memory_bytes(),
         );
         let t = std::time::Instant::now();
-        let out = prepared.solve()?;
+        let out = {
+            let _span = crate::metrics::Span::enter(crate::metrics::metrics().extract_solve_nanos);
+            prepared.solve()?
+        };
         let solve_seconds = t.elapsed().as_secs_f64();
+        crate::metrics::metrics().extractions.inc();
         Ok(Extraction {
             capacitance: CapacitanceMatrix { names, c: out.capacitance },
             report: ExtractionReport {

@@ -40,6 +40,7 @@ pub mod chip;
 pub mod error;
 pub mod exec;
 pub mod extraction;
+pub mod metrics;
 pub mod report;
 pub mod solver;
 pub mod sweep;

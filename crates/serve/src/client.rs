@@ -185,6 +185,37 @@ pub struct DaemonStats {
     pub window_cache_entries: usize,
 }
 
+/// A decoded `metrics` response (protocol v5): one scrape of the
+/// daemon's process-lifetime observability registry.
+#[derive(Debug, Clone)]
+pub struct MetricsReply {
+    /// Prometheus-style text exposition — ready to serve to a scraper
+    /// or dump to a log verbatim.
+    pub text: String,
+    /// Monotonic counters as `(name, value)`, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Point-in-time gauges as `(name, value)`, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+}
+
+impl MetricsReply {
+    /// Value of the counter `name`, or `None` if the daemon did not
+    /// expose it.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        lookup(&self.counters, name)
+    }
+
+    /// Value of the gauge `name`, or `None` if the daemon did not
+    /// expose it.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        lookup(&self.gauges, name)
+    }
+}
+
+fn lookup(samples: &[(String, u64)], name: &str) -> Option<u64> {
+    samples.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+}
+
 fn proto_err(msg: impl Into<String>) -> ServeError {
     ServeError::Protocol(msg.into())
 }
@@ -582,6 +613,41 @@ impl Client {
         })
     }
 
+    /// Scrapes the daemon's observability registry (protocol v5): the
+    /// Prometheus text exposition plus the same samples as structured
+    /// counter/gauge lists. Pre-v5 daemons answer with a `bad-request`
+    /// error ([`ServeError::Remote`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::extract`].
+    pub fn metrics(&mut self) -> Result<MetricsReply, ServeError> {
+        let id = self.fresh_id();
+        let result = self.roundtrip(&Request::Metrics { id: Some(id) })?;
+        let samples = |field: &str| -> Result<Vec<(String, u64)>, ServeError> {
+            match result.get(field) {
+                Some(Value::Object(entries)) => entries
+                    .iter()
+                    .map(|(name, v)| {
+                        v.as_u64().map(|n| (name.clone(), n)).ok_or_else(|| {
+                            proto_err(format!("non-integer metric '{name}' in '{field}'"))
+                        })
+                    })
+                    .collect(),
+                _ => Err(proto_err(format!("metrics response missing '{field}' object"))),
+            }
+        };
+        Ok(MetricsReply {
+            text: result
+                .get("text")
+                .and_then(Value::as_str)
+                .ok_or_else(|| proto_err("metrics response missing 'text'"))?
+                .to_string(),
+            counters: samples("counters")?,
+            gauges: samples("gauges")?,
+        })
+    }
+
     /// Asks the daemon to shut down cleanly.
     ///
     /// # Errors
@@ -626,6 +692,7 @@ impl Client {
                 let expected = match request {
                     Request::Ping { id }
                     | Request::Stats { id }
+                    | Request::Metrics { id }
                     | Request::Shutdown { id }
                     | Request::Extract { id, .. }
                     | Request::Batch { id, .. }

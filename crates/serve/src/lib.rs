@@ -49,7 +49,7 @@ pub mod error;
 pub mod protocol;
 pub mod server;
 
-pub use client::{ChipOptions, ChipReply, Client, DaemonStats, ExtractReply};
+pub use client::{ChipOptions, ChipReply, Client, DaemonStats, ExtractReply, MetricsReply};
 pub use error::ServeError;
 pub use protocol::ExtractOptions;
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -42,7 +42,16 @@ use serde_json::{json, Value};
 /// response gains a `window_cache` section. Version-3 frames still
 /// decode unchanged; pre-v4 daemons answer `chip` with a `bad-request`
 /// error, so clients fail loudly instead of degrading.
-pub const PROTOCOL_VERSION: u64 = 4;
+///
+/// Version 5 (additive): the `metrics` op — a scrape of the daemon's
+/// process-lifetime observability counters. The result carries the
+/// Prometheus text exposition (`text`) plus the same samples as
+/// structured JSON (`counters` / `gauges` objects mapping metric name
+/// to value). Also adds the `internal` error code for daemon-side
+/// invariant violations that previously killed the connection thread.
+/// Version-4 frames still decode unchanged; pre-v5 daemons answer
+/// `metrics` with a `bad-request` error.
+pub const PROTOCOL_VERSION: u64 = 5;
 
 /// Machine-readable error codes of structured error responses.
 pub mod codes {
@@ -63,6 +72,11 @@ pub mod codes {
     /// Retry later (structured backpressure, not a failure of the
     /// request itself).
     pub const BUSY: &str = "busy";
+    /// A daemon-side invariant broke while building the response (v5).
+    /// The request was well-formed; the failure is a daemon bug worth
+    /// reporting — but it stays a structured response, never a dropped
+    /// connection.
+    pub const INTERNAL: &str = "internal";
 }
 
 /// A decoded request frame.
@@ -115,6 +129,12 @@ pub enum Request {
     },
     /// Daemon-level statistics (cache residency, lifetime counters).
     Stats {
+        /// Echoed correlation id.
+        id: Option<u64>,
+    },
+    /// Scrape of the process-lifetime observability metrics (v5):
+    /// Prometheus text exposition plus structured counter/gauge maps.
+    Metrics {
         /// Echoed correlation id.
         id: Option<u64>,
     },
@@ -252,6 +272,7 @@ fn decode_op(v: &Value, id: Option<u64>) -> Result<Request, WireError> {
     match op {
         "ping" => Ok(Request::Ping { id }),
         "stats" => Ok(Request::Stats { id }),
+        "metrics" => Ok(Request::Metrics { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
         "extract" => {
             let geometry = v
@@ -290,7 +311,8 @@ fn decode_op(v: &Value, id: Option<u64>) -> Result<Request, WireError> {
             Ok(Request::Chip { id, geometry, options: decode_options(v)?, nx, ny, halo })
         }
         other => Err(WireError::bad(format!(
-            "unknown op '{other}' (expected extract, batch, chip, ping, stats or shutdown)"
+            "unknown op '{other}' \
+             (expected extract, batch, chip, ping, stats, metrics or shutdown)"
         ))),
     }
 }
@@ -439,6 +461,7 @@ pub fn encode_request(req: &Request) -> String {
     let v = match req {
         Request::Ping { id } => json!({ "op": "ping", "id": *id }),
         Request::Stats { id } => json!({ "op": "stats", "id": *id }),
+        Request::Metrics { id } => json!({ "op": "metrics", "id": *id }),
         Request::Shutdown { id } => json!({ "op": "shutdown", "id": *id }),
         Request::Extract { id, geometry, options } => {
             let mut v = json!({
@@ -610,6 +633,8 @@ mod tests {
         let reqs = [
             Request::Ping { id: Some(7) },
             Request::Stats { id: None },
+            Request::Metrics { id: Some(11) },
+            Request::Metrics { id: None },
             Request::Shutdown { id: Some(0) },
             Request::Extract {
                 id: Some(3),

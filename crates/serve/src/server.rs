@@ -41,14 +41,15 @@
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use bemcap_core::batch::default_pool_size;
 use bemcap_core::cache::TemplateCache;
 use bemcap_core::chip::{ChipExtractor, WindowCache};
 use bemcap_core::exec::{default_queue_depth, ExecConfig, Executor, DEFAULT_COALESCE_LIMIT};
-use bemcap_core::{BatchJob, CoreError, Extractor, Submission};
+use bemcap_core::metrics::{metrics as core_metrics, Metric, MetricKind, Registry};
+use bemcap_core::{BatchJob, CoreError, Extractor, JobOutcome, Submission};
 use bemcap_geom::io::parse_geometry;
 use bemcap_geom::Geometry;
 use serde_json::{json, Value};
@@ -418,6 +419,7 @@ fn dispatch(state: &ServerState, line: &str) -> String {
                 }),
             )
         }
+        Request::Metrics { id } => ok_response(id, metrics_scrape(state)),
         Request::Shutdown { id } => {
             state.shutdown.store(true, Ordering::SeqCst);
             ok_response(id, json!({ "stopping": true }))
@@ -439,9 +441,95 @@ fn dispatch(state: &ServerState, line: &str) -> String {
     }
 }
 
+#[derive(Debug)]
 struct DispatchError {
     code: &'static str,
     message: String,
+}
+
+/// Daemon-level gauges of the v5 `metrics` op. Counters are incremented
+/// by the hot layers themselves (`bemcap_core::metrics`); gauges describe
+/// *instantaneous* state the daemon owns — cache residency, queue
+/// occupancy, uptime — so they are written only here, at scrape time,
+/// from the live `ServerState`. That keeps every scrape honest (no stale
+/// values from instances that no longer exist) and keeps gauge updates
+/// entirely off the request hot path.
+struct DaemonGauges {
+    uptime_seconds: &'static Metric,
+    requests: &'static Metric,
+    connections: &'static Metric,
+    exec_queued_jobs: &'static Metric,
+    exec_running_jobs: &'static Metric,
+    template_cache_entries: &'static Metric,
+    template_cache_resident_bytes: &'static Metric,
+    window_cache_entries: &'static Metric,
+    window_cache_resident_bytes: &'static Metric,
+}
+
+fn daemon_gauges() -> &'static DaemonGauges {
+    static GAUGES: OnceLock<DaemonGauges> = OnceLock::new();
+    GAUGES.get_or_init(|| {
+        let r = Registry::global();
+        DaemonGauges {
+            uptime_seconds: r
+                .gauge("bemcap_daemon_uptime_seconds", "Whole seconds since the daemon started."),
+            requests: r.gauge("bemcap_daemon_requests", "Requests handled since start (all ops)."),
+            connections: r.gauge("bemcap_daemon_connections", "Connections accepted since start."),
+            exec_queued_jobs: r
+                .gauge("bemcap_exec_queued_jobs", "Jobs waiting in the admission queue right now."),
+            exec_running_jobs: r
+                .gauge("bemcap_exec_running_jobs", "Jobs executing on workers right now."),
+            template_cache_entries: r.gauge(
+                "bemcap_template_cache_entries",
+                "Resident pair-integral cache entries right now.",
+            ),
+            template_cache_resident_bytes: r.gauge(
+                "bemcap_template_cache_resident_bytes",
+                "Approximate resident pair-integral cache bytes right now.",
+            ),
+            window_cache_entries: r
+                .gauge("bemcap_window_cache_entries", "Resident window-cache results right now."),
+            window_cache_resident_bytes: r.gauge(
+                "bemcap_window_cache_resident_bytes",
+                "Approximate resident window-cache bytes right now.",
+            ),
+        }
+    })
+}
+
+/// Builds the v5 `metrics` result: refreshes the daemon gauges from the
+/// live state, then snapshots the whole global registry as both the
+/// Prometheus text exposition and structured counter/gauge maps.
+fn metrics_scrape(state: &ServerState) -> Value {
+    // Touch the core handles so a scrape of an idle daemon still exposes
+    // every counter (at zero) instead of a set that grows as code paths
+    // first run.
+    let _ = core_metrics();
+    let g = daemon_gauges();
+    g.uptime_seconds.set(state.started.elapsed().as_secs());
+    g.requests.set(state.requests.load(Ordering::Relaxed));
+    g.connections.set(state.connections.load(Ordering::Relaxed));
+    g.exec_queued_jobs.set(state.executor.queued_jobs() as u64);
+    g.exec_running_jobs.set(state.executor.running_jobs() as u64);
+    g.template_cache_entries.set(state.cache.len() as u64);
+    g.template_cache_resident_bytes.set(state.cache.resident_bytes() as u64);
+    g.window_cache_entries.set(state.window_cache.len() as u64);
+    g.window_cache_resident_bytes.set(state.window_cache.resident_bytes() as u64);
+    let registry = Registry::global();
+    let mut counters: Vec<(String, Value)> = Vec::new();
+    let mut gauges: Vec<(String, Value)> = Vec::new();
+    for s in registry.snapshot() {
+        let pair = (s.name.to_string(), Value::Number(s.value as f64));
+        match s.kind {
+            MetricKind::Counter => counters.push(pair),
+            MetricKind::Gauge => gauges.push(pair),
+        }
+    }
+    json!({
+        "text": registry.render_prometheus(),
+        "counters": Value::Object(counters),
+        "gauges": Value::Object(gauges),
+    })
 }
 
 /// Builds the extractor for a request's solver options, including the v3
@@ -528,6 +616,31 @@ fn extraction_value(
     })
 }
 
+/// Serializes a batch submission's outcomes after failure screening.
+///
+/// `batch()` maps any failed outcome to a frame-level error before this
+/// runs, so every outcome should carry a result. If one does not, that is
+/// a daemon bug (the screening and the executor disagree about what
+/// failed) — report it as a structured `internal` error on this frame
+/// instead of panicking the connection thread, so the client gets a
+/// diagnosable reply and the daemon keeps serving.
+fn batch_results(outcomes: &[JobOutcome]) -> Result<Vec<Value>, DispatchError> {
+    outcomes
+        .iter()
+        .enumerate()
+        .map(|(index, o)| match &o.result {
+            Ok((extraction, cache)) => Ok(extraction_value(extraction, cache)),
+            Err(e) => Err(DispatchError {
+                code: codes::INTERNAL,
+                message: format!(
+                    "batch outcome {index} failed after failure screening ({e}); \
+                     this is a daemon bug — please report it"
+                ),
+            }),
+        })
+        .collect()
+}
+
 /// Per-submission executor record, attached to every extraction result.
 fn submission_exec_value(sub: &Submission) -> Value {
     json!({
@@ -580,14 +693,7 @@ fn batch(
             message: format!("geometry {index}: {e}"),
         });
     }
-    let results: Vec<Value> = sub
-        .outcomes
-        .iter()
-        .map(|o| {
-            let (extraction, cache) = o.result.as_ref().expect("failures handled above");
-            extraction_value(extraction, cache)
-        })
-        .collect();
+    let results = batch_results(&sub.outcomes)?;
     Ok(json!({
         "results": Value::Array(results),
         "exec": submission_exec_value(&sub),
@@ -810,6 +916,59 @@ mod tests {
         assert_eq!(v["ok"].as_bool(), Some(false));
         assert_eq!(v["error"]["code"].as_str(), Some(codes::BUSY), "{v:?}");
         assert_eq!(v["id"].as_u64(), Some(9));
+    }
+
+    #[test]
+    fn dispatch_metrics_scrapes_the_registry() {
+        let state = test_state(1 << 20);
+        let v = serde_json::from_str(&dispatch(&state, r#"{"op":"metrics","id":3}"#)).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(true), "{v:?}");
+        assert_eq!(v["id"].as_u64(), Some(3));
+        let text = v["result"]["text"].as_str().unwrap();
+        // Core counters are registered even on an idle daemon, and the
+        // exposition is well-formed HELP/TYPE/sample triples.
+        assert!(text.contains("# TYPE bemcap_extractions_total counter"), "{text}");
+        assert!(text.contains("# TYPE bemcap_daemon_uptime_seconds gauge"), "{text}");
+        for chunk in text.split("# HELP ").skip(1) {
+            assert!(chunk.contains("# TYPE "), "sample without TYPE line: {chunk}");
+        }
+        let before = v["result"]["counters"]["bemcap_extractions_total"].as_u64().unwrap();
+        assert_eq!(v["result"]["gauges"]["bemcap_template_cache_entries"].as_u64(), Some(0));
+
+        // Traffic moves the counters; residency shows up in the gauges.
+        let geo = r#"{"op":"extract","id":4,"geometry":"conductor a\nbox 0 0 0 1e-6 1e-6 1e-6\nconductor b\nbox 0 0 2e-6 1e-6 1e-6 3e-6\n"}"#;
+        let v = serde_json::from_str(&dispatch(&state, geo)).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(true), "{v:?}");
+        let v = serde_json::from_str(&dispatch(&state, r#"{"op":"metrics","id":5}"#)).unwrap();
+        let after = v["result"]["counters"]["bemcap_extractions_total"].as_u64().unwrap();
+        assert!(after > before, "extraction counter did not move: {before} -> {after}");
+        assert!(v["result"]["gauges"]["bemcap_template_cache_entries"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn stray_batch_failure_is_an_internal_error_not_a_panic() {
+        // batch_results sees a failed outcome only if the screening in
+        // batch() and the executor disagree — simulate that directly.
+        let ok_outcome = || {
+            let state = test_state(1 << 20);
+            let geo = "conductor a\nbox 0 0 0 1e-6 1e-6 1e-6\n";
+            let parsed = parse_job(geo, None).unwrap();
+            let extractor = request_extractor(ExtractOptions::default());
+            let sub =
+                run_on_executor(&state, &extractor, vec![BatchJob::new("t", parsed)]).unwrap();
+            sub.outcomes.into_iter().next().unwrap()
+        };
+        let good = ok_outcome();
+        let bad = JobOutcome { result: Err(CoreError::EmptyGeometry), seconds: 0.0, worker: 0 };
+
+        let ok = batch_results(std::slice::from_ref(&good)).unwrap();
+        assert_eq!(ok.len(), 1);
+        assert!(ok[0].get("matrix").is_some());
+
+        let err = batch_results(&[good, bad]).unwrap_err();
+        assert_eq!(err.code, codes::INTERNAL);
+        assert!(err.message.contains("outcome 1"), "{}", err.message);
+        assert!(err.message.contains("daemon bug"), "{}", err.message);
     }
 
     #[test]
