@@ -99,6 +99,16 @@ impl From<[u64; 9]> for TemplateKey {
     }
 }
 
+impl TemplateKey {
+    /// The raw identity words, in the order [`From<[u64; 9]>`] consumes
+    /// them — the serialization seam for cache snapshots: a key written
+    /// as its words and rebuilt with `From` is the identical key, so a
+    /// restored cache entry answers the very lookups the original did.
+    pub fn words(&self) -> [u64; 9] {
+        self.0
+    }
+}
+
 /// The Galerkin integral of a template pair (equation (5) entry, raw
 /// kernel — the caller divides by 4πε).
 pub fn pair_integral(eng: &GalerkinEngine, a: &Template, b: &Template) -> f64 {

@@ -31,6 +31,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::io::{self, BufRead, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -225,6 +226,142 @@ impl TemplateCache {
         map.insert(key, Entry { value, last_used: stamp });
         (value, Lookup { hit: false, evicted })
     }
+
+    /// Writes every resident entry to `w` in the versioned snapshot
+    /// format (see [`SNAPSHOT_HEADER`]) and returns how many entries
+    /// were written. The format is binary-safe *text*: one header line,
+    /// then one line per entry of 19 lowercase-hex `u64` words (the two
+    /// 9-word [`TemplateKey`] identities followed by the value's raw
+    /// `f64` bits), so a restored value is the identical `f64`, bit for
+    /// bit, and the file survives any text transport.
+    ///
+    /// Concurrent lookups during the snapshot are safe (each shard is
+    /// locked only while it is copied out); the snapshot is a consistent
+    /// view per shard, not across shards — fine for its purpose of
+    /// warm-starting a fresh process.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from `w`.
+    pub fn snapshot_to(&self, w: &mut impl Write) -> io::Result<usize> {
+        let mut entries: Vec<(PairKey, f64)> = Vec::new();
+        for shard in &self.shards {
+            let map = shard.lock().expect("template cache poisoned");
+            entries.extend(map.iter().map(|(k, e)| (*k, e.value)));
+        }
+        // Deterministic file contents for identical cache contents:
+        // sort by key words, not by shard/hash iteration order.
+        entries.sort_by_key(|((a, b), _)| (a.words(), b.words()));
+        writeln!(w, "{} {}", SNAPSHOT_HEADER, entries.len())?;
+        for ((a, b), value) in &entries {
+            let mut line = String::with_capacity(19 * 17);
+            for word in a.words().iter().chain(b.words().iter()) {
+                push_hex(&mut line, *word);
+                line.push(' ');
+            }
+            push_hex(&mut line, value.to_bits());
+            writeln!(w, "{line}")?;
+        }
+        Ok(entries.len())
+    }
+
+    /// Restores entries from a snapshot produced by
+    /// [`TemplateCache::snapshot_to`] and returns how many were
+    /// admitted. Restored entries behave exactly like computed ones (a
+    /// later lookup is a hit returning the identical bits) but the
+    /// restore itself moves **no** hit/miss counters — warm-start is not
+    /// traffic. On a bounded cache, entries beyond a shard's budget are
+    /// skipped rather than evicting each other, so the memory bound
+    /// holds and the admitted count may be less than the file's.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] for a missing/foreign header, an
+    /// unsupported snapshot version, or a malformed entry line; any I/O
+    /// error from `r`.
+    pub fn restore_from(&self, r: impl BufRead) -> io::Result<usize> {
+        let mut lines = r.lines();
+        let header = lines.next().ok_or_else(|| bad_snapshot("empty snapshot file"))??;
+        let declared = parse_snapshot_header(&header)?;
+        let mut restored = 0usize;
+        let mut seen = 0usize;
+        for line in lines {
+            let line = line?;
+            if line.is_empty() {
+                continue;
+            }
+            seen += 1;
+            let mut words = [0u64; 19];
+            let mut fields = line.split_ascii_whitespace();
+            for (i, slot) in words.iter_mut().enumerate() {
+                let field = fields
+                    .next()
+                    .ok_or_else(|| bad_snapshot(format!("entry {seen}: expected 19 words")))?;
+                *slot = u64::from_str_radix(field, 16).map_err(|e| {
+                    bad_snapshot(format!("entry {seen} word {i}: not a hex u64: {e}"))
+                })?;
+            }
+            if fields.next().is_some() {
+                return Err(bad_snapshot(format!("entry {seen}: more than 19 words")));
+            }
+            let mut a = [0u64; 9];
+            let mut b = [0u64; 9];
+            a.copy_from_slice(&words[0..9]);
+            b.copy_from_slice(&words[9..18]);
+            let key: PairKey = (a.into(), b.into());
+            let value = f64::from_bits(words[18]);
+            let stamp = self.epoch.fetch_add(1, Ordering::Relaxed);
+            let mut map = self.shard(&key).lock().expect("template cache poisoned");
+            if let Some(cap) = self.shard_cap {
+                if !map.contains_key(&key) && map.len() >= cap {
+                    continue;
+                }
+            }
+            map.insert(key, Entry { value, last_used: stamp });
+            restored += 1;
+        }
+        if seen != declared {
+            return Err(bad_snapshot(format!(
+                "snapshot declares {declared} entries but carries {seen} (truncated file?)"
+            )));
+        }
+        Ok(restored)
+    }
+}
+
+/// Magic-plus-version tag opening every [`TemplateCache::snapshot_to`]
+/// file. Bump the version on any change to the entry encoding; restore
+/// refuses versions it does not know instead of misreading them.
+pub const SNAPSHOT_HEADER: &str = "bemcap-template-cache v1";
+
+fn push_hex(out: &mut String, word: u64) {
+    use std::fmt::Write as _;
+    write!(out, "{word:x}").expect("writing to a String is infallible");
+}
+
+fn bad_snapshot(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+/// Validates the header line and returns the declared entry count.
+fn parse_snapshot_header(header: &str) -> io::Result<usize> {
+    let mut fields = header.split_ascii_whitespace();
+    let (magic, version) = (fields.next().unwrap_or(""), fields.next().unwrap_or(""));
+    if magic != "bemcap-template-cache" {
+        return Err(bad_snapshot(format!(
+            "not a template-cache snapshot (expected a '{SNAPSHOT_HEADER}' header, got '{header}')"
+        )));
+    }
+    if version != "v1" {
+        return Err(bad_snapshot(format!(
+            "unsupported template-cache snapshot version '{version}' (this build reads v1)"
+        )));
+    }
+    fields
+        .next()
+        .and_then(|n| n.parse::<usize>().ok())
+        .filter(|_| fields.next().is_none())
+        .ok_or_else(|| bad_snapshot(format!("snapshot header lacks an entry count: '{header}'")))
 }
 
 /// Removes the least-recently-used quarter of `map` (at least one entry)
@@ -391,5 +528,99 @@ mod tests {
         let cache = TemplateCache::with_max_bytes(1 << 20);
         let s = format!("{cache:?}");
         assert!(s.contains("entries") && s.contains("max_bytes"), "{s}");
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_bit_exactly() {
+        let cache = TemplateCache::unbounded();
+        // Values with non-trivial bit patterns, including a negative zero
+        // and a subnormal, so bit-identity is actually exercised.
+        let values = [0.1 + 0.2, -0.0, f64::MIN_POSITIVE / 2.0, -3.25e-18, 7.0];
+        for (i, v) in values.iter().enumerate() {
+            cache.get_or_compute(key(i as u64), || *v);
+        }
+        let mut file = Vec::new();
+        let written = cache.snapshot_to(&mut file).unwrap();
+        assert_eq!(written, values.len());
+
+        let restored = TemplateCache::unbounded();
+        let admitted = restored.restore_from(&file[..]).unwrap();
+        assert_eq!(admitted, values.len());
+        assert_eq!(restored.len(), values.len());
+        // A restore is not traffic: no hit/miss movement yet.
+        let stats = restored.lifetime();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+        for (i, v) in values.iter().enumerate() {
+            let (got, l) = restored.get_or_compute(key(i as u64), || unreachable!("restored"));
+            assert!(l.hit, "entry {i} must be resident after restore");
+            assert_eq!(got.to_bits(), v.to_bits(), "entry {i}");
+        }
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_for_equal_contents() {
+        let a = TemplateCache::unbounded();
+        let b = TemplateCache::unbounded();
+        // Insert in different orders; the snapshot sorts by key words.
+        for i in 0..50 {
+            a.get_or_compute(key(i), || i as f64);
+        }
+        for i in (0..50).rev() {
+            b.get_or_compute(key(i), || i as f64);
+        }
+        let (mut fa, mut fb) = (Vec::new(), Vec::new());
+        a.snapshot_to(&mut fa).unwrap();
+        b.snapshot_to(&mut fb).unwrap();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn bounded_restore_respects_the_memory_bound() {
+        let big = TemplateCache::unbounded();
+        for i in 0..5_000 {
+            big.get_or_compute(key(i), || i as f64);
+        }
+        let mut file = Vec::new();
+        big.snapshot_to(&mut file).unwrap();
+
+        let small = TemplateCache::with_max_bytes(256 * ENTRY_BYTES);
+        let bound = small.max_bytes().expect("bounded");
+        let admitted = small.restore_from(&file[..]).unwrap();
+        assert!(admitted < 5_000, "a small cache cannot admit the whole snapshot");
+        assert!(admitted > 0);
+        assert!(small.resident_bytes() <= bound);
+        assert_eq!(small.lifetime().evictions, 0, "restore skips, never evicts");
+    }
+
+    #[test]
+    fn restore_rejects_malformed_snapshots() {
+        let cache = TemplateCache::unbounded();
+        let errors = [
+            ("", "empty"),
+            ("not a snapshot\n", "foreign header"),
+            ("bemcap-template-cache v9 0\n", "future version"),
+            ("bemcap-template-cache v1\n", "missing count"),
+            ("bemcap-template-cache v1 2\n", "truncated body"),
+            ("bemcap-template-cache v1 1\n1 2 3\n", "short entry"),
+            ("bemcap-template-cache v1 1\nzz 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1\n", "bad hex"),
+        ];
+        for (text, what) in errors {
+            let e = cache.restore_from(text.as_bytes()).unwrap_err();
+            assert_eq!(e.kind(), io::ErrorKind::InvalidData, "{what}: {e}");
+        }
+        assert!(cache.is_empty() || !cache.is_empty(), "no panic is the contract");
+        // The future-version message names the version problem.
+        let e = cache.restore_from("bemcap-template-cache v9 0\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("version"), "{e}");
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let cache = TemplateCache::unbounded();
+        let mut file = Vec::new();
+        assert_eq!(cache.snapshot_to(&mut file).unwrap(), 0);
+        let restored = TemplateCache::unbounded();
+        assert_eq!(restored.restore_from(&file[..]).unwrap(), 0);
+        assert!(restored.is_empty());
     }
 }

@@ -1,0 +1,120 @@
+//! `bemcaprd` — the bemcap sharding front tier.
+//!
+//! Binds a TCP port, shards `extract`/`batch`/`chip` frames across
+//! `bemcapd` replicas by digest affinity (rendezvous hashing), health-
+//! checks the replicas, and fails connection-level errors over to the
+//! next replica in preference order (`docs/WIRE_PROTOCOL.md`, v6).
+//!
+//! ```text
+//! bemcaprd --replica HOST:PORT [--replica HOST:PORT ...]
+//!          [--addr HOST:PORT] [--max-frame-mb N]
+//!          [--connect-timeout-ms N] [--io-timeout-s N]
+//!          [--health-interval-ms N] [--eject-after N] [--pool N]
+//! ```
+//!
+//! Defaults: `--addr 127.0.0.1:0` (a free port, printed at startup),
+//! 8 MiB frames, 1000 ms connect timeout, 300 s forward IO timeout,
+//! 1000 ms health interval, ejection after 3 failed checks, 4 pooled
+//! connections per replica. At least one `--replica` is required.
+//! Exits 0 after a `shutdown` request (the replicas keep running —
+//! and keep their warm caches).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use bemcap_router::{Router, RouterConfig};
+
+const USAGE: &str = "usage: bemcaprd --replica HOST:PORT [--replica HOST:PORT ...] \
+                     [--addr HOST:PORT] [--max-frame-mb N] [--connect-timeout-ms N] \
+                     [--io-timeout-s N] [--health-interval-ms N] [--eject-after N] [--pool N]";
+
+fn parse_args(args: &[String]) -> Result<RouterConfig, String> {
+    let mut cfg = RouterConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value\n{USAGE}"));
+        let positive = |name: &str, raw: String| {
+            raw.parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("{name} needs a positive integer\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--replica" => cfg.replicas.push(value("--replica")?),
+            "--max-frame-mb" => {
+                cfg.max_frame_bytes = positive("--max-frame-mb", value("--max-frame-mb")?)? << 20;
+            }
+            "--connect-timeout-ms" => {
+                let ms = positive("--connect-timeout-ms", value("--connect-timeout-ms")?)?;
+                cfg.connect_timeout = Duration::from_millis(ms as u64);
+            }
+            "--io-timeout-s" => {
+                let s = positive("--io-timeout-s", value("--io-timeout-s")?)?;
+                cfg.io_timeout = Some(Duration::from_secs(s as u64));
+            }
+            "--health-interval-ms" => {
+                let ms = positive("--health-interval-ms", value("--health-interval-ms")?)?;
+                cfg.health_interval = Duration::from_millis(ms as u64);
+            }
+            "--eject-after" => {
+                cfg.eject_after = positive("--eject-after", value("--eject-after")?)? as u32;
+            }
+            "--pool" => cfg.pool_per_replica = positive("--pool", value("--pool")?)?,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    if cfg.replicas.is_empty() {
+        return Err(format!("at least one --replica is required\n{USAGE}"));
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let replicas = cfg.replicas.len();
+    let eject_after = cfg.eject_after;
+    let pool = cfg.pool_per_replica;
+    let router = match Router::bind(cfg) {
+        Ok(router) => router,
+        Err(e) => {
+            eprintln!("bemcaprd: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match router.local_addr() {
+        Ok(addr) => {
+            // The startup line is part of the interface: scripts (and
+            // the CI smoke job) scrape the bound address from it.
+            println!(
+                "bemcaprd listening on {addr} \
+                 (replicas={replicas}, eject-after={eject_after}, pool={pool})"
+            );
+        }
+        Err(e) => {
+            eprintln!("bemcaprd: cannot read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    match router.run() {
+        Ok(()) => {
+            println!("bemcaprd: shutdown complete");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bemcaprd: fatal: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

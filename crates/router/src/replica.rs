@@ -1,0 +1,242 @@
+//! One backend `bemcapd` replica as the router sees it: an address,
+//! health state, lifetime counters, and a small pool of reusable
+//! connections.
+//!
+//! Forwarding is a **verbatim line relay**: the router writes the
+//! client's original frame bytes and hands back the replica's response
+//! line untouched. Nothing re-encodes on the proxy path, so the bit-
+//! identity contract of the wire protocol (shortest-round-trip `f64`
+//! text) survives the extra hop by construction.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One pooled connection to a replica daemon.
+pub struct BackendConn {
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+}
+
+impl BackendConn {
+    /// Dials `addr` with a connect timeout, then bounds every read and
+    /// write with `io_timeout` (`None` = unbounded reads — extraction
+    /// frames legitimately take a while).
+    ///
+    /// # Errors
+    ///
+    /// The last resolved address's connect error, or
+    /// [`io::ErrorKind::InvalidInput`] when `addr` resolves to nothing.
+    pub fn connect(
+        addr: &str,
+        connect_timeout: Duration,
+        io_timeout: Option<Duration>,
+    ) -> io::Result<BackendConn> {
+        let mut last: Option<io::Error> = None;
+        let resolved: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        for a in resolved {
+            match TcpStream::connect_timeout(&a, connect_timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(io_timeout)?;
+                    stream.set_write_timeout(io_timeout)?;
+                    let reader = BufReader::new(stream.try_clone()?);
+                    return Ok(BackendConn { reader, stream });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to no socket addresses")
+        }))
+    }
+
+    /// Sends one frame line (no newline) and reads the response line,
+    /// returned without its terminator and byte-for-byte as the replica
+    /// wrote it.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, including [`io::ErrorKind::UnexpectedEof`]
+    /// when the replica closed before answering (a truncated response
+    /// counts — half an answer is not an answer).
+    pub fn roundtrip_line(&mut self, line: &[u8]) -> io::Result<Vec<u8>> {
+        self.stream.write_all(line)?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()?;
+        let mut response = Vec::new();
+        let n = self.reader.read_until(b'\n', &mut response)?;
+        if n == 0 || response.last() != Some(&b'\n') {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "replica closed the connection mid-response",
+            ));
+        }
+        response.pop();
+        if response.last() == Some(&b'\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+}
+
+/// A replica's routing state: health, counters, connection pool.
+pub struct Replica {
+    addr: String,
+    healthy: AtomicBool,
+    consecutive_failures: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    pool: Mutex<Vec<BackendConn>>,
+    pool_cap: usize,
+}
+
+impl Replica {
+    /// A new, presumed-healthy replica (the health checker corrects the
+    /// presumption within one interval if it is wrong).
+    pub fn new(addr: String, pool_cap: usize) -> Replica {
+        Replica {
+            addr,
+            healthy: AtomicBool::new(true),
+            consecutive_failures: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            pool: Mutex::new(Vec::new()),
+            pool_cap,
+        }
+    }
+
+    /// The replica's daemon address as configured.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether the router currently routes to this replica.
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::SeqCst)
+    }
+
+    /// Consecutive health-check failures.
+    pub fn failure_streak(&self) -> u64 {
+        self.consecutive_failures.load(Ordering::SeqCst)
+    }
+
+    /// Requests forwarded to this replica since start.
+    pub fn request_count(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Connection-level failures talking to this replica since start.
+    pub fn error_count(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Records a failed health check. Returns `true` when this failure
+    /// crossed `eject_after` and flipped the replica unhealthy (the
+    /// caller counts the ejection exactly once).
+    pub fn record_check_failure(&self, eject_after: u64) -> bool {
+        let streak = self.consecutive_failures.fetch_add(1, Ordering::SeqCst) + 1;
+        if streak >= eject_after && self.healthy.swap(false, Ordering::SeqCst) {
+            // Pooled connections to an ejected replica are dead weight —
+            // drop them so re-admission starts from fresh dials.
+            self.pool.lock().unwrap_or_else(|e| e.into_inner()).clear();
+            return true;
+        }
+        false
+    }
+
+    /// Records a successful health check. Returns `true` when this
+    /// success re-admitted a previously ejected replica.
+    pub fn record_check_success(&self) -> bool {
+        self.consecutive_failures.store(0, Ordering::SeqCst);
+        !self.healthy.swap(true, Ordering::SeqCst)
+    }
+
+    /// Forwards one frame line, reusing a pooled connection when one is
+    /// available and dialing otherwise. A pooled connection that fails
+    /// is discarded and the frame retried once on a fresh dial — the
+    /// daemon may simply have been restarted since the pool filled.
+    ///
+    /// # Errors
+    ///
+    /// The fresh dial's error; the caller decides whether to fail over
+    /// to another replica.
+    pub fn forward(
+        &self,
+        line: &[u8],
+        connect_timeout: Duration,
+        io_timeout: Option<Duration>,
+    ) -> io::Result<Vec<u8>> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        // A pooled connection that errors is simply stale (the daemon
+        // may have restarted since the pool filled); fall through to a
+        // fresh dial rather than reporting it.
+        if let Some(mut conn) = self.checkout() {
+            if let Ok(response) = conn.roundtrip_line(line) {
+                self.checkin(conn);
+                return Ok(response);
+            }
+        }
+        let fresh = || -> io::Result<Vec<u8>> {
+            let mut conn = BackendConn::connect(&self.addr, connect_timeout, io_timeout)?;
+            let response = conn.roundtrip_line(line)?;
+            self.checkin(conn);
+            Ok(response)
+        };
+        fresh().inspect_err(|_| {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        })
+    }
+
+    fn checkout(&self) -> Option<BackendConn> {
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop()
+    }
+
+    fn checkin(&self, conn: BackendConn) {
+        let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        if pool.len() < self.pool_cap {
+            pool.push(conn);
+        }
+    }
+
+    /// Pooled idle connections right now.
+    pub fn pooled(&self) -> usize {
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ejection_and_readmission_fire_exactly_once() {
+        let r = Replica::new("127.0.0.1:1".into(), 2);
+        assert!(r.is_healthy());
+        assert!(!r.record_check_failure(3));
+        assert!(!r.record_check_failure(3));
+        assert!(r.record_check_failure(3), "third strike ejects");
+        assert!(!r.is_healthy());
+        assert!(!r.record_check_failure(3), "already ejected: no second ejection event");
+        assert!(r.record_check_success(), "first success re-admits");
+        assert!(r.is_healthy());
+        assert_eq!(r.failure_streak(), 0);
+        assert!(!r.record_check_success(), "already healthy: no re-admission event");
+    }
+
+    #[test]
+    fn forward_to_a_dead_address_counts_an_error() {
+        // Reserve a port and close it so nothing listens there.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let r = Replica::new(dead, 2);
+        let err = r.forward(b"{\"op\":\"ping\"}", Duration::from_millis(200), None).unwrap_err();
+        assert_ne!(err.kind(), io::ErrorKind::InvalidInput);
+        assert_eq!(r.request_count(), 1);
+        assert_eq!(r.error_count(), 1);
+    }
+}

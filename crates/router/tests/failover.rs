@@ -1,0 +1,220 @@
+//! Failure-path tests of the front tier: a replica dying under load, a
+//! replica that was never there, and a replica coming back.
+//!
+//! The contract under fire: every in-flight request either succeeds on
+//! another replica — bit-identical to the direct result — or returns a
+//! structured error. No hangs, no torn responses, no silent drops.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+use bemcap_geom::io::write_geometry;
+use bemcap_geom::structures::{self, CrossingParams};
+use bemcap_geom::Geometry;
+use bemcap_router::{routing_key, Balancer, Router, RouterConfig, RouterHandle};
+use bemcap_serve::protocol::Request;
+use bemcap_serve::{Client, ExtractOptions, Server, ServerConfig};
+
+fn scaled(factor: f64) -> Geometry {
+    structures::crossing_wires(CrossingParams {
+        length: factor * CrossingParams::default().length,
+        ..CrossingParams::default()
+    })
+}
+
+/// A geometry whose affinity replica (under default options) is
+/// `target` in the given replica set.
+fn geometry_pinned_to(replicas: &[String], target: usize) -> Geometry {
+    let balancer = Balancer::new(replicas);
+    for i in 0..64 {
+        let geo = scaled(1.0 + 0.01 * f64::from(i));
+        let request = Request::Extract {
+            id: None,
+            geometry: write_geometry(&geo),
+            options: ExtractOptions::default(),
+        };
+        if balancer.pick(routing_key(&request).unwrap()) == Some(target) {
+            return geo;
+        }
+    }
+    unreachable!("64 distinct geometries all missed one of {} shards", replicas.len());
+}
+
+fn spawn_router(replicas: Vec<String>) -> RouterHandle {
+    Router::bind(RouterConfig {
+        replicas,
+        connect_timeout: Duration::from_millis(300),
+        health_interval: Duration::from_millis(100),
+        eject_after: 2,
+        ..RouterConfig::default()
+    })
+    .expect("bind router")
+    .spawn()
+    .expect("spawn router")
+}
+
+/// Polls `route_stats` until `pred` holds or the deadline passes.
+fn wait_for(
+    client: &mut Client,
+    what: &str,
+    pred: impl Fn(&bemcap_serve::RouteStatsReply) -> bool,
+) -> bemcap_serve::RouteStatsReply {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = client.route_stats().expect("route_stats");
+        if pred(&stats) {
+            return stats;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}: {stats:?}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn killing_a_replica_mid_storm_loses_no_request() {
+    let mut daemons: Vec<_> = (0..2)
+        .map(|_| {
+            Server::bind(ServerConfig { addr: "127.0.0.1:0".into(), ..Default::default() })
+                .expect("bind daemon")
+                .spawn()
+                .expect("spawn daemon")
+        })
+        .collect();
+    let replicas: Vec<String> = daemons.iter().map(|d| d.addr().to_string()).collect();
+    let router = spawn_router(replicas.clone());
+
+    // Storm traffic pinned to the replica we will kill: its failovers
+    // are forced, not left to scheduling luck. The reference bits come
+    // from the *surviving* daemon, so post-kill results are checked
+    // against a computation the victim never touched.
+    let victim = 0;
+    let geo = geometry_pinned_to(&replicas, victim);
+    let reference = Client::connect(daemons[1].addr())
+        .expect("connect survivor")
+        .extract(&geo, &ExtractOptions::default())
+        .expect("reference extract");
+    let reference_bits: Vec<u64> = reference.matrix.iter().flatten().map(|v| v.to_bits()).collect();
+
+    // Stormers gate on the kill between their early and late halves, so
+    // requests demonstrably flow both before and after the victim dies.
+    let progress = AtomicU32::new(0);
+    let killed = AtomicBool::new(false);
+    let router_addr = router.addr();
+    std::thread::scope(|scope| {
+        let progress = &progress;
+        let killed = &killed;
+        let reference_bits = &reference_bits;
+        let geo = &geo;
+        let stormers: Vec<_> = (0..3)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(router_addr).expect("connect router");
+                    let mut served = 0u32;
+                    for shot in 0..12 {
+                        if shot == 4 {
+                            // Hold until the victim is down, then resume.
+                            progress.fetch_add(1, Ordering::SeqCst);
+                            while !killed.load(Ordering::SeqCst) {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                        }
+                        // Every request must come back whole and bit-right,
+                        // before, during, and after the kill.
+                        let reply =
+                            client.extract(geo, &ExtractOptions::default()).expect("extract");
+                        let bits: Vec<u64> =
+                            reply.matrix.iter().flatten().map(|v| v.to_bits()).collect();
+                        assert_eq!(&bits, reference_bits, "routed result diverged bitwise");
+                        served += 1;
+                    }
+                    served
+                })
+            })
+            .collect();
+        // Wait for every stormer's early half, then kill the victim —
+        // and *join* it, so the gate only opens once its sockets are
+        // truly gone and the late half cannot sneak back onto it.
+        while progress.load(Ordering::SeqCst) < 3 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let victim_daemon = daemons.remove(0);
+        let mut killer = Client::connect(victim_daemon.addr()).expect("connect victim");
+        killer.shutdown().expect("victim shutdown");
+        drop(killer);
+        victim_daemon.join().expect("victim exit");
+        killed.store(true, Ordering::SeqCst);
+        for s in stormers {
+            assert_eq!(s.join().expect("storm thread"), 12, "a storm request was lost");
+        }
+    });
+
+    let mut probe = Client::connect(router.addr()).expect("probe");
+    let stats = wait_for(&mut probe, "victim ejection", |s| s.healthy == 1 && s.ejections >= 1);
+    assert_eq!(stats.proxied, 3 * 12, "every storm request was served by some replica");
+    assert_eq!(stats.upstream_errors, 0);
+    assert!(stats.failovers >= 1, "the kill forced no failover: {stats:?}");
+    assert_eq!(
+        stats.replicas[1].requests,
+        3 * 8,
+        "the survivor must have served the entire post-kill half: {stats:?}"
+    );
+
+    probe.shutdown().expect("router shutdown");
+    router.join().expect("router exit");
+    let survivor = daemons.remove(0);
+    let mut c = Client::connect(survivor.addr()).expect("connect survivor");
+    c.shutdown().expect("survivor shutdown");
+    survivor.join().expect("survivor exit");
+}
+
+#[test]
+fn an_ejected_replica_is_readmitted_when_it_returns() {
+    // Reserve a port with nothing behind it, then hand it to the router
+    // as a replica: the health checker must eject it, and service must
+    // continue on the live replica alone.
+    let parked = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let live = Server::bind(ServerConfig { addr: "127.0.0.1:0".into(), ..Default::default() })
+        .expect("bind daemon")
+        .spawn()
+        .expect("spawn daemon");
+    let replicas = vec![parked.clone(), live.addr().to_string()];
+    let router = spawn_router(replicas.clone());
+    let mut probe = Client::connect(router.addr()).expect("probe");
+
+    wait_for(&mut probe, "ejection of the parked address", |s| {
+        s.healthy == 1 && s.ejections >= 1 && !s.replicas[0].healthy
+    });
+
+    // Requests pinned to the ejected shard fail over and still succeed.
+    let geo = geometry_pinned_to(&replicas, 0);
+    let reply = probe.extract(&geo, &ExtractOptions::default()).expect("failover extract");
+    assert_eq!(reply.dim(), 2);
+    let stats = probe.route_stats().expect("route_stats");
+    assert!(stats.failovers >= 1 || stats.replicas[1].requests >= 1, "{stats:?}");
+    assert_eq!(stats.upstream_errors, 0);
+
+    // The replica comes back on the same address: the next passing
+    // health check must re-admit it, and affinity traffic must return.
+    let revived = Server::bind(ServerConfig { addr: parked.clone(), ..Default::default() })
+        .expect("rebind parked address")
+        .spawn()
+        .expect("spawn revived daemon");
+    wait_for(&mut probe, "re-admission of the revived replica", |s| {
+        s.healthy == 2 && s.readmissions >= 1 && s.replicas[0].healthy
+    });
+    let before = probe.route_stats().expect("route_stats").replicas[0].requests;
+    probe.extract(&geo, &ExtractOptions::default()).expect("extract after re-admission");
+    let after = probe.route_stats().expect("route_stats").replicas[0].requests;
+    assert_eq!(after, before + 1, "affinity traffic did not return to the revived replica");
+
+    probe.shutdown().expect("router shutdown");
+    router.join().expect("router exit");
+    for d in [live, revived] {
+        let mut c = Client::connect(d.addr()).expect("connect for shutdown");
+        c.shutdown().expect("daemon shutdown");
+        d.join().expect("daemon exit");
+    }
+}

@@ -7,20 +7,25 @@
 //! ```text
 //! bemcapd [--addr HOST:PORT] [--cache-mb N | --cache-unbounded]
 //!         [--workers N] [--queue N] [--coalesce N] [--max-frame-mb N]
+//!         [--cache-restore PATH]
 //! ```
 //!
 //! Defaults: `--addr 127.0.0.1:0` (a free port, printed at startup),
 //! 64 MiB cache, `BEMCAP_POOL` (or 1) workers, `BEMCAP_QUEUE` (or 256)
 //! admission-queue slots, a 16-job coalescing window, 8 MiB frames.
-//! Nonsense values (zero, non-numeric) are rejected with the usage
-//! message. Exits 0 after a `shutdown` request drains.
+//! `--cache-restore` warm-starts the pair-integral cache from a
+//! snapshot written by the v6 `snapshot` op (a bad or truncated file
+//! fails startup loudly). Nonsense values (zero, non-numeric) are
+//! rejected with the usage message. Exits 0 after a `shutdown` request
+//! drains.
 
 use std::process::ExitCode;
 
 use bemcap_serve::{Server, ServerConfig};
 
 const USAGE: &str = "usage: bemcapd [--addr HOST:PORT] [--cache-mb N | --cache-unbounded] \
-                     [--workers N] [--queue N] [--coalesce N] [--max-frame-mb N]\n\
+                     [--workers N] [--queue N] [--coalesce N] [--max-frame-mb N] \
+                     [--cache-restore PATH]\n\
                      env fallbacks: BEMCAP_POOL (workers), BEMCAP_QUEUE (queue depth)";
 
 fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
@@ -49,6 +54,9 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
             "--coalesce" => cfg.coalesce_limit = positive("--coalesce", value("--coalesce")?)?,
             "--max-frame-mb" => {
                 cfg.max_frame_bytes = positive("--max-frame-mb", value("--max-frame-mb")?)? << 20;
+            }
+            "--cache-restore" => {
+                cfg.cache_restore = Some(value("--cache-restore")?.into());
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
@@ -82,6 +90,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(count) = server.restored_cache_entries() {
+        println!("bemcapd: restored {count} cache entries from snapshot");
+    }
     match server.local_addr() {
         Ok(addr) => {
             // The startup line is part of the interface: scripts (and the

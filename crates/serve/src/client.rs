@@ -7,6 +7,7 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use bemcap_core::{CacheStats, ExecStats, SolverStats};
 use bemcap_geom::io::write_geometry;
@@ -183,6 +184,57 @@ pub struct DaemonStats {
     /// Resident window-cache entries right now (v4; 0 for older
     /// daemons).
     pub window_cache_entries: usize,
+}
+
+/// A decoded `snapshot` response (protocol v6): what the daemon wrote
+/// to its filesystem.
+#[derive(Debug, Clone)]
+pub struct SnapshotReply {
+    /// Daemon-side path the snapshot landed at (echoed from the request).
+    pub path: String,
+    /// Pair-integral cache entries serialized.
+    pub entries: usize,
+    /// Snapshot file size in bytes.
+    pub bytes: u64,
+}
+
+/// One replica's row in a `route_stats` response (protocol v6).
+#[derive(Debug, Clone)]
+pub struct ReplicaStats {
+    /// The replica's daemon address as the router dials it.
+    pub addr: String,
+    /// Whether the router currently routes to this replica.
+    pub healthy: bool,
+    /// Consecutive health-check failures (resets to 0 on any success).
+    pub consecutive_failures: u64,
+    /// Requests the router sent to this replica since start.
+    pub requests: u64,
+    /// Connection-level failures talking to this replica since start
+    /// (structured backend errors are *not* counted — they are answers).
+    pub errors: u64,
+}
+
+/// A decoded `route_stats` response (protocol v6) from the `bemcaprd`
+/// front tier. A plain daemon answers the op with `bad-request`, so a
+/// successful decode also tells the caller it is talking to a router.
+#[derive(Debug, Clone)]
+pub struct RouteStatsReply {
+    /// Per-replica health and traffic counters, in configuration order.
+    pub replicas: Vec<ReplicaStats>,
+    /// Replicas currently routable.
+    pub healthy: usize,
+    /// Payload requests proxied to replicas since start.
+    pub proxied: u64,
+    /// Requests retried on another replica after a connection-level
+    /// failure.
+    pub failovers: u64,
+    /// Requests answered with the `upstream` error (every replica
+    /// unreachable).
+    pub upstream_errors: u64,
+    /// Health-check ejections since start.
+    pub ejections: u64,
+    /// Re-admissions of previously ejected replicas since start.
+    pub readmissions: u64,
 }
 
 /// A decoded `metrics` response (protocol v5): one scrape of the
@@ -413,10 +465,59 @@ impl Client {
     ///
     /// [`ServeError::Io`] when the connection fails.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServeError> {
-        let stream = TcpStream::connect(addr)?;
+        Client::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Connects with a bound on how long the TCP connect may block
+    /// (tried against each resolved address in turn). The front tier's
+    /// health checker depends on this: a hung replica must cost one
+    /// timeout, not a stuck thread.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when no resolved address accepts within
+    /// `timeout` (the last attempt's error) or `addr` resolves to
+    /// nothing.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<Client, ServeError> {
+        let mut last: Option<std::io::Error> = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, timeout) {
+                Ok(stream) => return Client::from_stream(stream),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last
+            .unwrap_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "address resolved to no socket addresses",
+                )
+            })
+            .into())
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<Client, ServeError> {
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client { reader, stream, next_id: 0 })
+    }
+
+    /// Bounds every subsequent read and write on this connection
+    /// (`None` removes the bound — the default). When a timeout fires
+    /// mid-response the stream may hold a partial line, so treat the
+    /// connection as dead and reconnect instead of issuing another
+    /// request on it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`]; the OS rejects a zero duration.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ServeError> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)?;
+        Ok(())
     }
 
     /// Extracts the capacitance matrix of `geo` on the daemon.
@@ -648,6 +749,91 @@ impl Client {
         })
     }
 
+    /// Asks the daemon to write its pair-integral cache to `path` on
+    /// *the daemon's* filesystem (protocol v6) — the warm-restart seam
+    /// paired with `bemcapd --cache-restore`. Pre-v6 daemons answer
+    /// `bad-request`, as does the `bemcaprd` router (snapshots are
+    /// per-daemon state; address each replica directly).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] with code `bad-request` when the daemon
+    /// cannot write the file; transport errors as [`Client::extract`].
+    pub fn snapshot(&mut self, path: &str) -> Result<SnapshotReply, ServeError> {
+        let id = self.fresh_id();
+        let result = self.roundtrip(&Request::Snapshot { id: Some(id), path: path.to_string() })?;
+        Ok(SnapshotReply {
+            path: result
+                .get("path")
+                .and_then(Value::as_str)
+                .ok_or_else(|| proto_err("snapshot response missing 'path'"))?
+                .to_string(),
+            entries: result
+                .get("entries")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| proto_err("snapshot response missing 'entries'"))?
+                as usize,
+            bytes: result
+                .get("bytes")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| proto_err("snapshot response missing 'bytes'"))?,
+        })
+    }
+
+    /// Router-level statistics (protocol v6): replica health and the
+    /// front tier's failover counters. A plain daemon answers
+    /// `bad-request` ([`ServeError::Remote`]) — callers use that to
+    /// detect which kind of peer they reached.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::extract`].
+    pub fn route_stats(&mut self) -> Result<RouteStatsReply, ServeError> {
+        let id = self.fresh_id();
+        let result = self.roundtrip(&Request::RouteStats { id: Some(id) })?;
+        let uint = |name: &str| {
+            result
+                .get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| proto_err(format!("route_stats response missing '{name}'")))
+        };
+        let mut replicas = Vec::new();
+        for r in result
+            .get("replicas")
+            .and_then(Value::as_array)
+            .ok_or_else(|| proto_err("route_stats response missing 'replicas'"))?
+        {
+            let runit = |name: &str| {
+                r.get(name)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| proto_err(format!("replica entry missing '{name}'")))
+            };
+            replicas.push(ReplicaStats {
+                addr: r
+                    .get("addr")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| proto_err("replica entry missing 'addr'"))?
+                    .to_string(),
+                healthy: r
+                    .get("healthy")
+                    .and_then(Value::as_bool)
+                    .ok_or_else(|| proto_err("replica entry missing 'healthy'"))?,
+                consecutive_failures: runit("consecutive_failures")?,
+                requests: runit("requests")?,
+                errors: runit("errors")?,
+            });
+        }
+        Ok(RouteStatsReply {
+            replicas,
+            healthy: uint("healthy")? as usize,
+            proxied: uint("proxied")?,
+            failovers: uint("failovers")?,
+            upstream_errors: uint("upstream_errors")?,
+            ejections: uint("ejections")?,
+            readmissions: uint("readmissions")?,
+        })
+    }
+
     /// Asks the daemon to shut down cleanly.
     ///
     /// # Errors
@@ -693,10 +879,12 @@ impl Client {
                     Request::Ping { id }
                     | Request::Stats { id }
                     | Request::Metrics { id }
+                    | Request::RouteStats { id }
                     | Request::Shutdown { id }
                     | Request::Extract { id, .. }
                     | Request::Batch { id, .. }
-                    | Request::Chip { id, .. } => *id,
+                    | Request::Chip { id, .. }
+                    | Request::Snapshot { id, .. } => *id,
                 };
                 if let Some(want) = expected {
                     let got = response.get("id").and_then(Value::as_u64);

@@ -1,0 +1,84 @@
+//! Newline-delimited frame reading shared by `bemcapd` and the
+//! `bemcaprd` front tier.
+//!
+//! Both services speak the same wire protocol over plain TCP, so they
+//! share one framing loop: size-capped line reads that never buffer an
+//! oversized payload and that wake on the socket's read timeout to poll
+//! a stop flag (bounding shutdown latency without a dedicated signal
+//! channel).
+
+use std::io::{self, BufRead, BufReader};
+use std::net::TcpStream;
+
+/// One frame from the peer: a complete line, or notice that the line
+/// blew the size limit (already drained to its newline).
+pub enum Frame {
+    /// A complete line within the size cap (terminator stripped).
+    Line(Vec<u8>),
+    /// The line exceeded the cap; its bytes were discarded, not stored.
+    Oversized,
+}
+
+/// Reads newline-delimited frames with a size cap, waking on the read
+/// timeout to poll `stop`. Returns `Ok(None)` on EOF (including a
+/// truncated final frame — the peer is gone, there is nobody to answer)
+/// or when `stop` fires.
+///
+/// # Errors
+///
+/// Socket errors other than the timeout/interrupt kinds the loop
+/// absorbs.
+pub fn next_frame(
+    reader: &mut BufReader<TcpStream>,
+    max: usize,
+    stop: &dyn Fn() -> bool,
+) -> io::Result<Option<Frame>> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(available) => available,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop() {
+                    return Ok(None);
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(None);
+        }
+        let (consumed, complete) = match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if !oversized {
+                    line.extend_from_slice(&available[..pos]);
+                }
+                (pos + 1, true)
+            }
+            None => {
+                if !oversized {
+                    line.extend_from_slice(available);
+                }
+                (available.len(), false)
+            }
+        };
+        reader.consume(consumed);
+        // Strip a CRLF terminator before the size check, so a payload of
+        // exactly `max` bytes is accepted whether the peer ends frames
+        // with \n or \r\n (a \r mid-frame is payload and still counts).
+        if complete && line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        if line.len() > max {
+            oversized = true;
+            line.clear();
+        }
+        if complete {
+            return Ok(Some(if oversized { Frame::Oversized } else { Frame::Line(line) }));
+        }
+    }
+}

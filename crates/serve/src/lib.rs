@@ -46,10 +46,14 @@
 
 pub mod client;
 pub mod error;
+pub mod framing;
 pub mod protocol;
 pub mod server;
 
-pub use client::{ChipOptions, ChipReply, Client, DaemonStats, ExtractReply, MetricsReply};
+pub use client::{
+    ChipOptions, ChipReply, Client, DaemonStats, ExtractReply, MetricsReply, ReplicaStats,
+    RouteStatsReply, SnapshotReply,
+};
 pub use error::ServeError;
 pub use protocol::ExtractOptions;
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -15,7 +15,8 @@
 //! engine produced — the property behind the daemon's determinism tests.
 
 use bemcap_core::{
-    CacheStats, ExecStats, FmmConfig, KrylovConfig, Method, PfftConfig, PrecondKind, SolverStats,
+    CacheStats, ExecStats, Extractor, FmmConfig, KrylovConfig, Method, PfftConfig, PrecondKind,
+    SolverStats,
 };
 use serde_json::{json, Value};
 
@@ -51,7 +52,19 @@ use serde_json::{json, Value};
 /// invariant violations that previously killed the connection thread.
 /// Version-4 frames still decode unchanged; pre-v5 daemons answer
 /// `metrics` with a `bad-request` error.
-pub const PROTOCOL_VERSION: u64 = 5;
+///
+/// Version 6 (additive): the front-tier revision. Adds the `snapshot`
+/// op (the daemon writes its pair-integral cache to a file the
+/// `--cache-restore` flag reads back at the next start), the
+/// `route_stats` op (answered by the `bemcaprd` router with replica
+/// health and shard distribution; plain daemons answer `bad-request`),
+/// and the `upstream` error code (the router exhausted every replica
+/// for a request — connection-level failures only, structured backend
+/// errors always pass through verbatim). Version-5 frames still decode
+/// unchanged; pre-v6 daemons answer `snapshot` with a `bad-request`
+/// error, so deploy tooling fails loudly instead of skipping the warm
+/// handoff silently.
+pub const PROTOCOL_VERSION: u64 = 6;
 
 /// Machine-readable error codes of structured error responses.
 pub mod codes {
@@ -77,6 +90,12 @@ pub mod codes {
     /// reporting — but it stays a structured response, never a dropped
     /// connection.
     pub const INTERNAL: &str = "internal";
+    /// The router could not reach any replica for this request (v6):
+    /// every connection attempt failed at the transport level. Only the
+    /// `bemcaprd` front tier emits it — a structured error produced *by*
+    /// a replica (`busy`, `geometry`, ...) is relayed verbatim, never
+    /// rewritten into this code.
+    pub const UPSTREAM: &str = "upstream";
 }
 
 /// A decoded request frame.
@@ -132,6 +151,24 @@ pub enum Request {
         /// Echoed correlation id.
         id: Option<u64>,
     },
+    /// Write the daemon's pair-integral cache to a file (v6) in the
+    /// versioned text format of `bemcap_core::cache` — the warm-restart
+    /// seam: a later daemon started with `--cache-restore <path>` begins
+    /// life with these entries resident.
+    Snapshot {
+        /// Echoed correlation id.
+        id: Option<u64>,
+        /// Daemon-side filesystem path to write (created or truncated).
+        path: String,
+    },
+    /// Router-level statistics (v6): replica health, per-replica
+    /// request/error counts, failover and ejection counters. Answered
+    /// by the `bemcaprd` front tier; a plain daemon answers
+    /// `bad-request`, which is how clients tell the two apart.
+    RouteStats {
+        /// Echoed correlation id.
+        id: Option<u64>,
+    },
     /// Scrape of the process-lifetime observability metrics (v5):
     /// Prometheus text exposition plus structured counter/gauge maps.
     Metrics {
@@ -184,6 +221,36 @@ impl Default for ExtractOptions {
             auto_budget: None,
         }
     }
+}
+
+/// Builds the extractor a request's solver options describe, including
+/// the v3 typed backend configurations. Unset fields keep the
+/// extractor's defaults, so a v2 frame builds exactly the extractor it
+/// always did. The daemon uses it to execute requests; the `bemcaprd`
+/// router uses it to compute the same `config_digest` the daemon would,
+/// which is what makes digest-affinity routing line up with the
+/// backend's coalescing and cache identity.
+pub fn build_extractor(options: &ExtractOptions) -> Extractor {
+    let mut extractor = Extractor::new().method(options.method).accelerated(options.accelerated);
+    if let Some(d) = options.mesh_divisions {
+        extractor = extractor.mesh_divisions(d);
+    }
+    if let Some(f) = options.fmm {
+        extractor = extractor.fmm_config(f);
+    }
+    if let Some(p) = options.pfft {
+        extractor = extractor.pfft_config(p);
+    }
+    if let Some(k) = options.krylov {
+        extractor = extractor.krylov_config(k);
+    }
+    if let Some(p) = options.precond {
+        extractor = extractor.preconditioner(p);
+    }
+    if let Some(b) = options.auto_budget {
+        extractor = extractor.auto_memory_budget(b);
+    }
+    extractor
 }
 
 /// A request decode failure, carrying the error code the daemon should
@@ -273,7 +340,17 @@ fn decode_op(v: &Value, id: Option<u64>) -> Result<Request, WireError> {
         "ping" => Ok(Request::Ping { id }),
         "stats" => Ok(Request::Stats { id }),
         "metrics" => Ok(Request::Metrics { id }),
+        "route_stats" => Ok(Request::RouteStats { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
+        "snapshot" => {
+            let path = v
+                .get("path")
+                .and_then(Value::as_str)
+                .filter(|p| !p.is_empty())
+                .ok_or_else(|| WireError::bad("'snapshot' needs a non-empty string 'path' field"))?
+                .to_string();
+            Ok(Request::Snapshot { id, path })
+        }
         "extract" => {
             let geometry = v
                 .get("geometry")
@@ -311,8 +388,8 @@ fn decode_op(v: &Value, id: Option<u64>) -> Result<Request, WireError> {
             Ok(Request::Chip { id, geometry, options: decode_options(v)?, nx, ny, halo })
         }
         other => Err(WireError::bad(format!(
-            "unknown op '{other}' \
-             (expected extract, batch, chip, ping, stats, metrics or shutdown)"
+            "unknown op '{other}' (expected extract, batch, chip, ping, stats, \
+             metrics, route_stats, snapshot or shutdown)"
         ))),
     }
 }
@@ -462,7 +539,11 @@ pub fn encode_request(req: &Request) -> String {
         Request::Ping { id } => json!({ "op": "ping", "id": *id }),
         Request::Stats { id } => json!({ "op": "stats", "id": *id }),
         Request::Metrics { id } => json!({ "op": "metrics", "id": *id }),
+        Request::RouteStats { id } => json!({ "op": "route_stats", "id": *id }),
         Request::Shutdown { id } => json!({ "op": "shutdown", "id": *id }),
+        Request::Snapshot { id, path } => {
+            json!({ "op": "snapshot", "id": *id, "path": path.as_str() })
+        }
         Request::Extract { id, geometry, options } => {
             let mut v = json!({
                 "op": "extract",
@@ -635,6 +716,10 @@ mod tests {
             Request::Stats { id: None },
             Request::Metrics { id: Some(11) },
             Request::Metrics { id: None },
+            Request::RouteStats { id: Some(12) },
+            Request::RouteStats { id: None },
+            Request::Snapshot { id: Some(13), path: "/tmp/cache.snap".into() },
+            Request::Snapshot { id: None, path: "relative/path.snap".into() },
             Request::Shutdown { id: Some(0) },
             Request::Extract {
                 id: Some(3),
@@ -810,6 +895,39 @@ mod tests {
         // Parse failures never have an id; a bad id field cannot echo it.
         assert_eq!(decode_request("not json").unwrap_err().id, None);
         assert_eq!(decode_request(r#"{"op":"ping","id":-1}"#).unwrap_err().id, None);
+    }
+
+    #[test]
+    fn snapshot_requests_need_a_path() {
+        let bad = [
+            r#"{"op":"snapshot"}"#,
+            r#"{"op":"snapshot","path":7}"#,
+            r#"{"op":"snapshot","path":null}"#,
+            r#"{"op":"snapshot","path":""}"#,
+        ];
+        for line in bad {
+            assert_eq!(decode_request(line).unwrap_err().code, codes::BAD_REQUEST, "{line}");
+        }
+        match decode_request(r#"{"op":"snapshot","id":2,"path":"warm.snap"}"#).unwrap() {
+            Request::Snapshot { id, path } => {
+                assert_eq!((id, path.as_str()), (Some(2), "warm.snap"));
+            }
+            other => panic!("expected snapshot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn build_extractor_digest_tracks_the_options() {
+        // The router keys its shard choice on this digest; it must move
+        // with any option that changes the solver configuration and be
+        // identical for identical options.
+        let base = ExtractOptions::default();
+        let a = build_extractor(&base).config_digest();
+        assert_eq!(a, build_extractor(&base).config_digest());
+        let accel = ExtractOptions { accelerated: true, ..base };
+        assert_ne!(a, build_extractor(&accel).config_digest());
+        let meshed = ExtractOptions { method: Method::PwcDense, mesh_divisions: Some(6), ..base };
+        assert_ne!(a, build_extractor(&meshed).config_digest());
     }
 
     #[test]

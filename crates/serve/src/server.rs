@@ -38,8 +38,9 @@
 //! connection thread notices within its read-timeout tick, finishes its
 //! in-flight request, and [`Server::run`] returns after joining them all.
 
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -54,9 +55,10 @@ use bemcap_geom::io::parse_geometry;
 use bemcap_geom::Geometry;
 use serde_json::{json, Value};
 
+use crate::framing::{next_frame, Frame};
 use crate::protocol::{
-    self, cache_stats_value, codes, error_response, exec_stats_value, ok_response, ExtractOptions,
-    Request, PROTOCOL_VERSION,
+    self, build_extractor, cache_stats_value, codes, error_response, exec_stats_value, ok_response,
+    ExtractOptions, Request, PROTOCOL_VERSION,
 };
 
 /// How often a blocked connection read wakes up to check the shutdown
@@ -87,6 +89,11 @@ pub struct ServerConfig {
     /// `chip` re-extraction incremental (`None` = unbounded).
     /// Default 64 MiB.
     pub window_cache_max_bytes: Option<usize>,
+    /// Pair-integral cache snapshot to load at bind time (v6 warm
+    /// restart; written by an earlier daemon's `snapshot` op). `None`
+    /// (the default) starts cold. Entries beyond the configured cache
+    /// bound are skipped, never force-evicted.
+    pub cache_restore: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +106,7 @@ impl Default for ServerConfig {
             queue_depth: default_queue_depth(),
             coalesce_limit: DEFAULT_COALESCE_LIMIT,
             window_cache_max_bytes: Some(64 << 20),
+            cache_restore: None,
         }
     }
 }
@@ -126,6 +134,7 @@ impl ServerState {
 pub struct Server {
     listener: TcpListener,
     state: Arc<ServerState>,
+    restored: Option<usize>,
 }
 
 impl Server {
@@ -163,6 +172,18 @@ impl Server {
             Some(bytes) => TemplateCache::with_max_bytes(bytes),
             None => TemplateCache::unbounded(),
         });
+        let restored = match &cfg.cache_restore {
+            None => None,
+            Some(path) => {
+                let file = std::fs::File::open(path).map_err(|e| {
+                    io::Error::new(e.kind(), format!("cache restore '{}': {e}", path.display()))
+                })?;
+                let count = cache.restore_from(BufReader::new(file)).map_err(|e| {
+                    io::Error::new(e.kind(), format!("cache restore '{}': {e}", path.display()))
+                })?;
+                Some(count)
+            }
+        };
         let window_cache = Arc::new(match cfg.window_cache_max_bytes {
             Some(bytes) => WindowCache::with_max_bytes(bytes),
             None => WindowCache::unbounded(),
@@ -182,7 +203,13 @@ impl Server {
             connections: AtomicU64::new(0),
             started: Instant::now(),
         });
-        Ok(Server { listener, state })
+        Ok(Server { listener, state, restored })
+    }
+
+    /// Entries admitted from the [`ServerConfig::cache_restore`]
+    /// snapshot at bind time (`None` when no restore was configured).
+    pub fn restored_cache_entries(&self) -> Option<usize> {
+        self.restored
     }
 
     /// The address actually bound (resolves port 0).
@@ -276,72 +303,6 @@ impl ServerHandle {
     }
 }
 
-/// One frame from the peer: a complete line, or notice that the line
-/// blew the size limit (already drained to its newline).
-enum Frame {
-    Line(Vec<u8>),
-    Oversized,
-}
-
-/// Reads newline-delimited frames with a size cap, waking on the read
-/// timeout to poll `stop`. Returns `Ok(None)` on EOF (including a
-/// truncated final frame — the peer is gone, there is nobody to answer)
-/// or when `stop` fires.
-fn next_frame(
-    reader: &mut BufReader<TcpStream>,
-    max: usize,
-    stop: &dyn Fn() -> bool,
-) -> io::Result<Option<Frame>> {
-    let mut line: Vec<u8> = Vec::new();
-    let mut oversized = false;
-    loop {
-        let available = match reader.fill_buf() {
-            Ok(available) => available,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if stop() {
-                    return Ok(None);
-                }
-                continue;
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
-        };
-        if available.is_empty() {
-            return Ok(None);
-        }
-        let (consumed, complete) = match available.iter().position(|&b| b == b'\n') {
-            Some(pos) => {
-                if !oversized {
-                    line.extend_from_slice(&available[..pos]);
-                }
-                (pos + 1, true)
-            }
-            None => {
-                if !oversized {
-                    line.extend_from_slice(available);
-                }
-                (available.len(), false)
-            }
-        };
-        reader.consume(consumed);
-        // Strip a CRLF terminator before the size check, so a payload of
-        // exactly `max` bytes is accepted whether the peer ends frames
-        // with \n or \r\n (a \r mid-frame is payload and still counts).
-        if complete && line.last() == Some(&b'\r') {
-            line.pop();
-        }
-        if line.len() > max {
-            oversized = true;
-            line.clear();
-        }
-        if complete {
-            return Ok(Some(if oversized { Frame::Oversized } else { Frame::Line(line) }));
-        }
-    }
-}
-
 fn handle_connection(state: &ServerState, stream: TcpStream) {
     // Per-connection failures just end the connection: the peer is gone
     // or the socket is broken, so there is nobody left to tell.
@@ -420,6 +381,16 @@ fn dispatch(state: &ServerState, line: &str) -> String {
             )
         }
         Request::Metrics { id } => ok_response(id, metrics_scrape(state)),
+        Request::RouteStats { id } => error_response(
+            id,
+            codes::BAD_REQUEST,
+            "route_stats is answered by the bemcaprd front tier; \
+             a daemon serves stats and metrics",
+        ),
+        Request::Snapshot { id, path } => match snapshot_cache(state, &path) {
+            Ok(result) => ok_response(id, result),
+            Err(e) => error_response(id, e.code, &e.message),
+        },
         Request::Shutdown { id } => {
             state.shutdown.store(true, Ordering::SeqCst);
             ok_response(id, json!({ "stopping": true }))
@@ -532,30 +503,22 @@ fn metrics_scrape(state: &ServerState) -> Value {
     })
 }
 
-/// Builds the extractor for a request's solver options, including the v3
-/// typed backend configurations. Unset fields keep the extractor's
-/// defaults, so a v2 frame builds exactly the extractor it always did.
-fn request_extractor(options: ExtractOptions) -> Extractor {
-    let mut extractor = Extractor::new().method(options.method).accelerated(options.accelerated);
-    if let Some(d) = options.mesh_divisions {
-        extractor = extractor.mesh_divisions(d);
-    }
-    if let Some(f) = options.fmm {
-        extractor = extractor.fmm_config(f);
-    }
-    if let Some(p) = options.pfft {
-        extractor = extractor.pfft_config(p);
-    }
-    if let Some(k) = options.krylov {
-        extractor = extractor.krylov_config(k);
-    }
-    if let Some(p) = options.precond {
-        extractor = extractor.preconditioner(p);
-    }
-    if let Some(b) = options.auto_budget {
-        extractor = extractor.auto_memory_budget(b);
-    }
-    extractor
+/// Writes the daemon's pair-integral cache to `path` (v6 `snapshot` op)
+/// and reports what landed on disk. Any filesystem failure maps to a
+/// structured `bad-request` (the path came from the request) so the
+/// connection survives a bad mount or a full disk.
+fn snapshot_cache(state: &ServerState, path: &str) -> Result<Value, DispatchError> {
+    let write = || -> io::Result<(usize, u64)> {
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        let entries = state.cache.snapshot_to(&mut w)?;
+        w.flush()?;
+        Ok((entries, std::fs::metadata(path)?.len()))
+    };
+    let (entries, bytes) = write().map_err(|e| DispatchError {
+        code: codes::BAD_REQUEST,
+        message: format!("cannot write cache snapshot to '{path}': {e}"),
+    })?;
+    Ok(json!({ "path": path, "entries": entries, "bytes": bytes as f64 }))
 }
 
 /// Parses one embedded geometry, labeling errors with the job index for
@@ -656,7 +619,7 @@ fn extract(
     options: ExtractOptions,
 ) -> Result<Value, DispatchError> {
     let geo = parse_job(geometry, None)?;
-    let extractor = request_extractor(options);
+    let extractor = build_extractor(&options);
     let sub = run_on_executor(state, &extractor, vec![BatchJob::new("request", geo)])?;
     let outcome = &sub.outcomes[0];
     let (extraction, cache) = outcome
@@ -683,7 +646,7 @@ fn batch(
     if jobs.is_empty() {
         return Ok(json!({ "results": Value::Array(Vec::new()) }));
     }
-    let extractor = request_extractor(options);
+    let extractor = build_extractor(&options);
     let sub = run_on_executor(state, &extractor, jobs)?;
     // Lowest-failing-index semantics, mirroring `CoreError::BatchJob`:
     // the whole frame fails with the first failing geometry's error.
@@ -713,7 +676,7 @@ fn chip(
     halo: Option<f64>,
 ) -> Result<Value, DispatchError> {
     let geo = parse_job(geometry, None)?;
-    let mut chip = ChipExtractor::new(request_extractor(options))
+    let mut chip = ChipExtractor::new(build_extractor(&options))
         .windows(nx, ny)
         .executor(Arc::clone(&state.executor))
         .window_cache(Arc::clone(&state.window_cache))
@@ -953,7 +916,7 @@ mod tests {
             let state = test_state(1 << 20);
             let geo = "conductor a\nbox 0 0 0 1e-6 1e-6 1e-6\n";
             let parsed = parse_job(geo, None).unwrap();
-            let extractor = request_extractor(ExtractOptions::default());
+            let extractor = build_extractor(&ExtractOptions::default());
             let sub =
                 run_on_executor(&state, &extractor, vec![BatchJob::new("t", parsed)]).unwrap();
             sub.outcomes.into_iter().next().unwrap()
@@ -969,6 +932,43 @@ mod tests {
         assert_eq!(err.code, codes::INTERNAL);
         assert!(err.message.contains("outcome 1"), "{}", err.message);
         assert!(err.message.contains("daemon bug"), "{}", err.message);
+    }
+
+    #[test]
+    fn dispatch_snapshot_writes_a_restorable_file() {
+        let state = test_state(1 << 20);
+        let geo = r#"{"op":"extract","id":1,"geometry":"conductor a\nbox 0 0 0 1e-6 1e-6 1e-6\nconductor b\nbox 0 0 2e-6 1e-6 1e-6 3e-6\n"}"#;
+        let v = serde_json::from_str(&dispatch(&state, geo)).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(true), "{v:?}");
+        let warm = state.cache.len();
+        assert!(warm > 0);
+
+        let path = std::env::temp_dir().join(format!("bemcapd-snap-test-{}", std::process::id()));
+        let line = format!(r#"{{"op":"snapshot","id":2,"path":"{}"}}"#, path.display());
+        let v = serde_json::from_str(&dispatch(&state, &line)).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(true), "{v:?}");
+        assert_eq!(v["result"]["entries"].as_u64(), Some(warm as u64));
+        assert!(v["result"]["bytes"].as_u64().unwrap() > 0);
+
+        // The file restores into a fresh cache with the same residency.
+        let fresh = TemplateCache::unbounded();
+        let file = std::fs::File::open(&path).unwrap();
+        assert_eq!(fresh.restore_from(io::BufReader::new(file)).unwrap(), warm);
+        assert_eq!(fresh.len(), warm);
+        let _ = std::fs::remove_file(&path);
+
+        // An unwritable path is a structured error, not a dead thread.
+        let v = serde_json::from_str(&dispatch(
+            &state,
+            r#"{"op":"snapshot","id":3,"path":"/nonexistent-dir/snap"}"#,
+        ))
+        .unwrap();
+        assert_eq!(v["error"]["code"].as_str(), Some(codes::BAD_REQUEST), "{v:?}");
+
+        // Plain daemons refuse the router-only stats op.
+        let v = serde_json::from_str(&dispatch(&state, r#"{"op":"route_stats"}"#)).unwrap();
+        assert_eq!(v["error"]["code"].as_str(), Some(codes::BAD_REQUEST));
+        assert!(v["error"]["message"].as_str().unwrap().contains("bemcaprd"), "{v:?}");
     }
 
     #[test]

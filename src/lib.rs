@@ -40,6 +40,7 @@ pub use bemcap_linalg as linalg;
 pub use bemcap_par as par;
 pub use bemcap_pfft as pfft;
 pub use bemcap_quad as quad;
+pub use bemcap_router as router;
 pub use bemcap_serve as serve;
 
 /// Convenient glob-import surface for applications.
@@ -55,6 +56,7 @@ pub mod prelude {
         PartitionConfig, Point3, Rect, Window,
     };
     pub use bemcap_linalg::SparseMatrix;
+    pub use bemcap_router::{Router, RouterConfig};
     pub use bemcap_serve::{
         ChipOptions, ChipReply, Client, ExtractOptions, ServeError, Server, ServerConfig,
     };
