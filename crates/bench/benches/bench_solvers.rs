@@ -53,6 +53,41 @@ fn bench_krylov_backends(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_kernels(c: &mut Criterion) {
+    // Blocked vs naive on the raw kernels, at sizes the solvers actually
+    // hit: GMRES basis dots (~2k), the dense matvec of a div-6 crossing
+    // mesh (~1.4k square), and a gemm the size of the C = ΦᵀΡ product.
+    use bemcap_linalg::kernels::{self, naive};
+    let n = 2048;
+    let a: Vec<f64> = (0..n).map(|i| ((i * 37 % 101) as f64 - 50.0) * 1e-3).collect();
+    let b: Vec<f64> = (0..n).map(|i| ((i * 53 % 97) as f64 - 48.0) * 1e-3).collect();
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+    group.bench_function("dot_2048_blocked", |bch| bch.iter(|| kernels::dot(&a, &b)));
+    group.bench_function("dot_2048_naive", |bch| bch.iter(|| naive::dot(&a, &b)));
+    let (gm, gn) = (1400, 1400);
+    let ga: Vec<f64> = (0..gm * gn).map(|i| ((i * 29 % 113) as f64 - 56.0) * 1e-4).collect();
+    let gx: Vec<f64> = (0..gn).map(|i| ((i * 41 % 89) as f64 - 44.0) * 1e-3).collect();
+    let mut gy = vec![0.0; gm];
+    group.bench_function("gemv_1400_blocked", |bch| {
+        bch.iter(|| kernels::gemv(gm, gn, &ga, &gx, &mut gy))
+    });
+    group.bench_function("gemv_1400_naive", |bch| {
+        bch.iter(|| naive::gemv(gm, gn, &ga, &gx, &mut gy))
+    });
+    let (mm, mk, mn) = (192, 192, 192);
+    let ma: Vec<f64> = (0..mm * mk).map(|i| ((i * 31 % 127) as f64 - 63.0) * 1e-4).collect();
+    let mb: Vec<f64> = (0..mk * mn).map(|i| ((i * 43 % 131) as f64 - 65.0) * 1e-4).collect();
+    let mut mc = vec![0.0; mm * mn];
+    group.bench_function("gemm_192_blocked", |bch| {
+        bch.iter(|| kernels::gemm(mm, mk, mn, &ma, &mb, &mut mc))
+    });
+    group.bench_function("gemm_192_naive", |bch| {
+        bch.iter(|| naive::gemm(mm, mk, mn, &ma, &mb, &mut mc))
+    });
+    group.finish();
+}
+
 fn bench_end_to_end(c: &mut Criterion) {
     let geo = structures::crossing_wires(CrossingParams::default());
     let mut group = c.benchmark_group("end_to_end_crossing");
@@ -71,5 +106,11 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_direct_solve, bench_krylov_backends, bench_end_to_end);
+criterion_group!(
+    benches,
+    bench_direct_solve,
+    bench_krylov_backends,
+    bench_kernels,
+    bench_end_to_end
+);
 criterion_main!(benches);

@@ -535,6 +535,19 @@ fn print_metrics_delta(before: &MetricsReply, after: &MetricsReply) {
         let was = before.counter(name).unwrap_or(0);
         println!("  {name} {was} -> {value} (+{})", value.saturating_sub(was));
     }
+    // Derived per-extraction phase costs, so kernel-level wins show up in
+    // the daemon report without a criterion run.
+    let delta = |name: &str| {
+        after.counter(name).unwrap_or(0).saturating_sub(before.counter(name).unwrap_or(0))
+    };
+    let extractions = delta("bemcap_extractions_total");
+    if extractions > 0 {
+        let setup = delta("bemcap_extract_setup_nanos_total");
+        let solve = delta("bemcap_extract_solve_nanos_total");
+        println!("derived per-extraction costs ({extractions} extractions this run):");
+        println!("  setup_nanos_per_extraction {}", setup / extractions);
+        println!("  solve_nanos_per_extraction {}", solve / extractions);
+    }
     println!("daemon metrics exposition:");
     print!("{}", after.text);
 }

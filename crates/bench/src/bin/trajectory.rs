@@ -15,8 +15,15 @@
 //!
 //! `--quick` runs a trimmed matrix sized for CI; baselines should be
 //! generated with the same mode they are compared against (the committed
-//! `BENCH_6.json` is a `--quick` record for exactly that reason — the
+//! `BENCH_9.json` is a `--quick` record for exactly that reason — the
 //! comparison stays mode-matched).
+//!
+//! The default extraction scenarios pick their worker count from
+//! `BEMCAP_POOL`, so the record pins that value explicitly: the variable
+//! is resolved once at startup (unset ⇒ 1), re-exported so every scenario
+//! — including the in-process daemon — sees the same value, and written
+//! into the record as `"pool"`. `--baseline` refuses to compare records
+//! taken at different pool sizes.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -49,7 +56,18 @@ struct Args {
 fn default_out() -> PathBuf {
     // The committed record lives at the repo root, two levels above this
     // crate's manifest.
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_6.json")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_9.json")
+}
+
+/// Resolves the worker-pool size the run will record, then pins it back
+/// into the environment so every scenario (and the in-process daemon)
+/// runs at exactly that size — rather than whatever the caller's shell
+/// happened to leave behind, which made records from different runners
+/// silently incomparable.
+fn pin_pool() -> usize {
+    let pool = std::env::var("BEMCAP_POOL").ok().and_then(|v| v.parse().ok()).unwrap_or(1);
+    std::env::set_var("BEMCAP_POOL", pool.to_string());
+    pool
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -225,11 +243,12 @@ fn run_matrix(quick: bool) -> Result<Vec<Scenario>, String> {
     Ok(out)
 }
 
-fn record(quick: bool, scenarios: &[Scenario]) -> Value {
+fn record(quick: bool, pool: usize, scenarios: &[Scenario]) -> Value {
     let total: f64 = scenarios.iter().map(|s| s.seconds).sum();
     json!({
         "schema": SCHEMA,
         "mode": if quick { "quick" } else { "full" },
+        "pool": pool,
         "scenarios": scenarios
             .iter()
             .map(|s| json!({ "name": &s.name, "seconds": s.seconds }))
@@ -256,7 +275,9 @@ fn aggregate_change(total: f64, base_total: f64) -> Result<f64, String> {
 
 /// Compares the fresh run against a committed baseline record. Per-
 /// scenario deltas are informational; the gate is the aggregate.
-fn compare(baseline_path: &PathBuf, scenarios: &[Scenario]) -> Result<(), String> {
+/// Refuses to compare records taken at different pool sizes; baselines
+/// predating the `pool` field (BENCH_8 and earlier) get a warning only.
+fn compare(baseline_path: &PathBuf, pool: usize, scenarios: &[Scenario]) -> Result<(), String> {
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read baseline {}: {e}", baseline_path.display()))?;
     let base = serde_json::from_str(&text)
@@ -272,6 +293,19 @@ fn compare(baseline_path: &PathBuf, scenarios: &[Scenario]) -> Result<(), String
         .and_then(Value::as_f64)
         .ok_or("baseline is missing total_seconds")?;
     let base_mode = base.get("mode").and_then(Value::as_str).unwrap_or("<missing>");
+    match base.get("pool").and_then(Value::as_u64) {
+        Some(base_pool) if base_pool != pool as u64 => {
+            return Err(format!(
+                "baseline was recorded at pool={base_pool} but this run used pool={pool}; \
+                 rerun with BEMCAP_POOL={base_pool} or regenerate the baseline"
+            ));
+        }
+        Some(_) => {}
+        None => println!(
+            "note: baseline {} predates the pool field; comparing against pool={pool} anyway",
+            baseline_path.display()
+        ),
+    }
 
     println!("\nvs baseline {} ({base_mode} mode):", baseline_path.display());
     if let Some(entries) = base.get("scenarios").and_then(Value::as_array) {
@@ -325,8 +359,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let pool = pin_pool();
     println!(
-        "trajectory: fixed workload matrix ({} mode)",
+        "trajectory: fixed workload matrix ({} mode, pool={pool})",
         if args.quick { "quick" } else { "full" }
     );
     let scenarios = match run_matrix(args.quick) {
@@ -347,7 +382,7 @@ fn main() -> ExitCode {
         print!("{}", bemcap_core::metrics::Registry::global().render_prometheus());
     }
 
-    let value = record(args.quick, &scenarios);
+    let value = record(args.quick, pool, &scenarios);
     let text = serde_json::to_string_pretty(&value).expect("serialize record");
     if let Err(e) = std::fs::write(&args.out, text + "\n") {
         eprintln!("trajectory: cannot write {}: {e}", args.out.display());
@@ -356,7 +391,7 @@ fn main() -> ExitCode {
     println!("record written to {}", args.out.display());
 
     if let Some(baseline) = &args.baseline {
-        if let Err(e) = compare(baseline, &scenarios) {
+        if let Err(e) = compare(baseline, pool, &scenarios) {
             eprintln!("trajectory: {e}");
             return ExitCode::FAILURE;
         }
@@ -381,6 +416,26 @@ mod tests {
             let err = aggregate_change(1.0, bad).unwrap_err();
             assert!(err.contains("regenerate the baseline"), "{bad}: {err}");
         }
+    }
+
+    #[test]
+    fn record_pins_the_pool() {
+        let v = record(true, 4, &[Scenario { name: "x".into(), seconds: 0.5 }]);
+        assert_eq!(v.get("pool").and_then(Value::as_u64), Some(4));
+        assert_eq!(v.get("total_seconds").and_then(Value::as_f64), Some(0.5));
+    }
+
+    #[test]
+    fn pool_mismatch_fails_the_comparison() {
+        let dir = std::env::temp_dir().join("bemcap_trajectory_pool_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        let base = record(true, 2, &[Scenario { name: "x".into(), seconds: 0.5 }]);
+        std::fs::write(&path, serde_json::to_string(&base).unwrap()).unwrap();
+        let fresh = [Scenario { name: "x".into(), seconds: 0.5 }];
+        let err = compare(&path, 1, &fresh).unwrap_err();
+        assert!(err.contains("pool=2"), "{err}");
+        assert!(compare(&path, 2, &fresh).is_ok());
     }
 
     #[test]

@@ -61,10 +61,17 @@ pub fn assemble_sequential(
     let scale = kernel_scale(eps_rel);
     let n = index.basis_count();
     let mut p = Matrix::zeros(n, n);
-    for k in 0..triangle_size(index.template_count()) {
-        let (i, j) = k_to_ij(k);
+    // (i, j) advance incrementally through the triangle enumeration — one
+    // closed-form k_to_ij per loop instead of one sqrt per entry.
+    let (mut i, mut j) = (0usize, 0usize);
+    for _ in 0..triangle_size(index.template_count()) {
         let v = scale * pair_integral(eng, index.template(i), index.template(j));
         accumulate_entry(&mut p, i, j, index.label(i), index.label(j), v);
+        i += 1;
+        if i > j {
+            i = 0;
+            j += 1;
+        }
     }
     let phi = assemble_phi(eng, set, n_cond);
     Assembly { p, phi, seconds: start.elapsed().as_secs_f64() }
@@ -87,14 +94,24 @@ pub fn assemble_threaded(
     let total_k = triangle_size(index.template_count());
     let (partials, timings) = pool::run_partitioned(threads, total_k, |_, range| {
         let mut local = Matrix::zeros(n, n);
-        for k in range {
-            let (i, j) = k_to_ij(k);
+        if range.is_empty() {
+            return local;
+        }
+        let (mut i, mut j) = k_to_ij(range.start);
+        for _ in range {
             let v = scale * pair_integral(eng, index.template(i), index.template(j));
             accumulate_entry(&mut local, i, j, index.label(i), index.label(j), v);
+            i += 1;
+            if i > j {
+                i = 0;
+                j += 1;
+            }
         }
         local
     });
     let mut p = Matrix::zeros(n, n);
+    // The merge runs through the blocked elementwise axpy kernel
+    // (`Matrix::add_assign`), bit-identical to the old scalar loop.
     for part in &partials {
         p += part;
     }

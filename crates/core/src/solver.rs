@@ -4,7 +4,7 @@ use std::time::Instant;
 
 use bemcap_geom::{Geometry, Mesh, EPS0};
 use bemcap_linalg::{LuFactor, Matrix};
-use bemcap_par::{k_to_ij, pool, triangle_size};
+use bemcap_par::{k_to_ij, partition_ranges, pool, triangle_size};
 use bemcap_quad::galerkin::{GalerkinEngine, PanelShape};
 
 use crate::batch::default_pool_size;
@@ -83,35 +83,58 @@ impl DensePwcSolver {
         let eng = GalerkinEngine::default();
         let scale = 1.0 / (4.0 * std::f64::consts::PI * geo.eps());
         let n = mesh.panel_count();
-        let entry = |k: usize| {
-            let (i, j) = k_to_ij(k);
-            let v = scale
-                * eng.panel_pair(
-                    &mesh.panels()[i].panel,
-                    PanelShape::Flat,
-                    &mesh.panels()[j].panel,
-                    PanelShape::Flat,
+        let panels = mesh.panels();
+        // Fills one contiguous range of the flat upper-triangle index with
+        // closed-form pair integrals, into a dense value block. The (i, j)
+        // coordinates advance incrementally — one sqrt-based [`k_to_ij`]
+        // per range instead of two per entry — and every value is the same
+        // independent evaluation the serial double loop performs, so the
+        // worker count cannot change bits.
+        let fill = |range: std::ops::Range<usize>| -> Vec<f64> {
+            let mut vals = Vec::with_capacity(range.len());
+            if range.is_empty() {
+                return vals;
+            }
+            let (mut i, mut j) = k_to_ij(range.start);
+            for _ in range {
+                vals.push(
+                    scale
+                        * eng.panel_pair(
+                            &panels[i].panel,
+                            PanelShape::Flat,
+                            &panels[j].panel,
+                            PanelShape::Flat,
+                        ),
                 );
-            (k, v)
+                i += 1;
+                if i > j {
+                    i = 0;
+                    j += 1;
+                }
+            }
+            vals
         };
-        let mut p = Matrix::zeros(n, n);
         let total = triangle_size(n);
-        if workers == 1 {
-            for k in 0..total {
-                let (k, v) = entry(k);
-                let (i, j) = k_to_ij(k);
+        let mut p = Matrix::zeros(n, n);
+        let blocks = if workers == 1 {
+            vec![fill(0..total)]
+        } else {
+            pool::run_partitioned(workers, total, |_, range| fill(range)).0
+        };
+        // Scatter each worker's contiguous block, walking (i, j) the same
+        // incremental way from the block's starting index.
+        for (range, vals) in partition_ranges(total, workers.max(1)).into_iter().zip(blocks) {
+            if range.is_empty() {
+                continue;
+            }
+            let (mut i, mut j) = k_to_ij(range.start);
+            for v in vals {
                 p.set(i, j, v);
                 p.set(j, i, v);
-            }
-        } else {
-            let (parts, _) = pool::run_partitioned(workers, total, |_, range| {
-                range.map(entry).collect::<Vec<(usize, f64)>>()
-            });
-            for part in parts {
-                for (k, v) in part {
-                    let (i, j) = k_to_ij(k);
-                    p.set(i, j, v);
-                    p.set(j, i, v);
+                i += 1;
+                if i > j {
+                    i = 0;
+                    j += 1;
                 }
             }
         }

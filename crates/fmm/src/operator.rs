@@ -218,13 +218,10 @@ impl LinearOperator for FmmOperator {
         }
         let t2 = Instant::now();
         t.far += (t2 - t1).as_secs_f64();
-        // Near field: exact sparse part.
+        // Near field: exact sparse part, each row a gathered sparse dot
+        // through the chunked pair kernel.
         for (yi, row) in y.iter_mut().zip(&self.near) {
-            let mut acc = 0.0;
-            for &(j, v) in row {
-                acc += v * x[j as usize];
-            }
-            *yi += acc;
+            *yi += bemcap_linalg::kernels::pair_dot(row, x);
         }
         t.near += t2.elapsed().as_secs_f64();
         t.count += 1;

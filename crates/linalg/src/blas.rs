@@ -1,88 +1,45 @@
-//! Cache-blocked dense kernels.
+//! Cache-blocked dense kernels (thin façade over [`crate::kernels`]).
 //!
 //! The paper credits much of direct solving's practical speed to linear
 //! algebra kernels that respect the memory hierarchy ("ATLAS, GotoBLAS, and
-//! other hardware vendor optimized routines"). These are our Rust
-//! equivalents: simple register-tiled, cache-blocked loops — not
-//! hand-vectorized, but with the same blocking structure, and an order of
-//! magnitude faster than naive triple loops on large sizes.
+//! other hardware vendor optimized routines"). The actual loops now live in
+//! [`crate::kernels`] — blocked, multi-accumulator, register-tiled — and
+//! this module keeps the historical `blas::gemv`/`gemm_*` entry points so
+//! existing callers and docs keep working.
 
-/// Cache block edge (in elements) for [`gemm_blocked`]. 64×64 f64 blocks are
-/// 32 KiB — comfortably inside a typical L1d.
-pub const BLOCK: usize = 64;
+/// Cache block edge (in elements) for [`gemm_blocked`] — re-exported from
+/// [`crate::kernels::BLOCK`].
+pub const BLOCK: usize = crate::kernels::BLOCK;
 
-/// `y = A x` for row-major `A` (`m × n`).
+/// `y = A x` for row-major `A` (`m × n`), via the cache-blocked
+/// [`crate::kernels::gemv`].
 ///
 /// # Panics
 ///
-/// Panics if slice lengths disagree with `m`, `n`.
+/// Panics if slice lengths disagree with `m`, `n`; messages name the
+/// mismatched lengths.
 pub fn gemv(m: usize, n: usize, a: &[f64], x: &[f64], y: &mut [f64]) {
-    assert_eq!(a.len(), m * n, "gemv: matrix buffer size");
-    assert_eq!(x.len(), n, "gemv: x length");
-    assert_eq!(y.len(), m, "gemv: y length");
-    for i in 0..m {
-        let row = &a[i * n..(i + 1) * n];
-        let mut acc = 0.0;
-        for (aij, xj) in row.iter().zip(x) {
-            acc += aij * xj;
-        }
-        y[i] = acc;
-    }
+    crate::kernels::gemv(m, n, a, x, y)
 }
 
-/// `C += A B` with naive loops (reference kernel for testing).
+/// `C += A B` with naive loops (reference kernel for testing), via
+/// [`crate::kernels::naive::gemm`].
 ///
 /// # Panics
 ///
 /// Panics if slice lengths disagree with `m`, `k`, `n`.
 pub fn gemm_naive(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
-    assert_eq!(a.len(), m * k, "gemm: A buffer size");
-    assert_eq!(b.len(), k * n, "gemm: B buffer size");
-    assert_eq!(c.len(), m * n, "gemm: C buffer size");
-    for i in 0..m {
-        for p in 0..k {
-            let aip = a[i * k + p];
-            if aip == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            let crow = &mut c[i * n..(i + 1) * n];
-            for (cij, bpj) in crow.iter_mut().zip(brow) {
-                *cij += aip * bpj;
-            }
-        }
-    }
+    crate::kernels::naive::gemm(m, k, n, a, b, c)
 }
 
-/// `C += A B` with cache blocking (row-major, `A: m×k`, `B: k×n`).
+/// `C += A B`, cache-blocked with a 4×4 register micro-kernel, via
+/// [`crate::kernels::gemm`] (row-major, `A: m×k`, `B: k×n`).
 ///
 /// # Panics
 ///
 /// Panics if slice lengths disagree with `m`, `k`, `n`.
 pub fn gemm_blocked(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
-    assert_eq!(a.len(), m * k, "gemm: A buffer size");
-    assert_eq!(b.len(), k * n, "gemm: B buffer size");
-    assert_eq!(c.len(), m * n, "gemm: C buffer size");
-    for ib in (0..m).step_by(BLOCK) {
-        let im = (ib + BLOCK).min(m);
-        for pb in (0..k).step_by(BLOCK) {
-            let pm = (pb + BLOCK).min(k);
-            for jb in (0..n).step_by(BLOCK) {
-                let jm = (jb + BLOCK).min(n);
-                // Micro-kernel on the (ib..im) × (jb..jm) block.
-                for i in ib..im {
-                    for p in pb..pm {
-                        let aip = a[i * k + p];
-                        let brow = &b[p * n + jb..p * n + jm];
-                        let crow = &mut c[i * n + jb..i * n + jm];
-                        for (cij, bpj) in crow.iter_mut().zip(brow) {
-                            *cij += aip * bpj;
-                        }
-                    }
-                }
-            }
-        }
-    }
+    crate::kernels::gemm(m, k, n, a, b, c)
 }
 
 #[cfg(test)]

@@ -6,6 +6,11 @@
 //! large residual vector shared across compute nodes every iteration — is
 //! what ruins their parallel scalability; we reproduce that structure
 //! faithfully via the [`LinearOperator`] abstraction.
+//!
+//! The Arnoldi orthogonalization and solution-update loops run on the
+//! chunked [`crate::kernels`] `dot`/`axpy`/`norm2` (via the crate-root
+//! re-exports), so every GMRES iteration gets the multi-accumulator
+//! reductions without this module knowing about blocking.
 
 use crate::error::LinalgError;
 use crate::lu::LuFactor;

@@ -24,6 +24,7 @@
 pub mod blas;
 pub mod cholesky;
 pub mod error;
+pub mod kernels;
 pub mod krylov;
 pub mod lu;
 pub mod matrix;
@@ -42,31 +43,28 @@ pub use matrix::Matrix;
 pub use qr::{least_squares, QrFactor};
 pub use sparse::{SparseBuilder, SparseMatrix};
 
-/// Euclidean norm of a slice.
+/// Euclidean norm of a slice (chunked reduction — see [`kernels::norm2`]).
 pub fn norm2(v: &[f64]) -> f64 {
-    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+    kernels::norm2(v)
 }
 
-/// Dot product of two slices.
+/// Dot product of two slices (chunked reduction — see [`kernels::dot`]).
 ///
 /// # Panics
 ///
-/// Panics if the slices have different lengths.
+/// Panics if the slices have different lengths; the message names both.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    kernels::dot(a, b)
 }
 
-/// `y += alpha * x`.
+/// `y += alpha * x` (elementwise, bit-identical to the scalar loop —
+/// see [`kernels::axpy`]).
 ///
 /// # Panics
 ///
-/// Panics if the slices have different lengths.
+/// Panics if the slices have different lengths; the message names both.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    kernels::axpy(alpha, x, y)
 }
 
 #[cfg(test)]
@@ -83,7 +81,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "dot: length mismatch (a.len()=1, b.len()=2)")]
     fn dot_mismatch_panics() {
         let _ = dot(&[1.0], &[1.0, 2.0]);
     }

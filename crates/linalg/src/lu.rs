@@ -86,9 +86,10 @@ impl LuFactor {
                 if m != 0.0 {
                     let row = &mut data[i * n + k + 1..(i + 1) * n];
                     let prow = &pivot_row[k + 1..n];
-                    for (r, p) in row.iter_mut().zip(prow) {
-                        *r -= m * p;
-                    }
+                    // r − m·p ≡ r + (−m)·p bit for bit (negation is
+                    // exact), so the chunked elementwise axpy changes
+                    // nothing but speed.
+                    crate::kernels::axpy(-m, prow, row);
                 }
             }
         }
@@ -115,21 +116,20 @@ impl LuFactor {
         }
         // Apply permutation.
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Both substitution sweeps are row·x dot products over the already
+        // solved prefix/suffix; the chunked kernel reduction vectorizes
+        // them (reassociated, deterministic — see `kernels` module docs).
         // Forward substitution with unit lower triangle.
         for i in 1..n {
-            let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.lu.get(i, j) * x[j];
-            }
-            x[i] = acc;
+            let row = self.lu.row(i);
+            let (head, tail) = x.split_at_mut(i);
+            tail[0] -= crate::kernels::dot(&row[..i], head);
         }
         // Back substitution with upper triangle.
         for i in (0..n).rev() {
-            let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc -= self.lu.get(i, j) * x[j];
-            }
-            x[i] = acc / self.lu.get(i, i);
+            let row = self.lu.row(i);
+            let (head, tail) = x.split_at_mut(i + 1);
+            head[i] = (head[i] - crate::kernels::dot(&row[i + 1..], tail)) / row[i];
         }
         Ok(x)
     }

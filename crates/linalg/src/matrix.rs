@@ -210,7 +210,13 @@ impl Matrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "matvec: length mismatch");
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "matvec: length mismatch (x.len()={}, cols={})",
+            x.len(),
+            self.cols
+        );
         let mut y = vec![0.0; self.rows];
         blas::gemv(self.rows, self.cols, &self.data, x, &mut y);
         y
@@ -240,11 +246,10 @@ impl Matrix {
         Ok(out)
     }
 
-    /// Scales every entry in place.
+    /// Scales every entry in place (elementwise kernel, bit-identical to
+    /// the scalar loop).
     pub fn scale(&mut self, s: f64) {
-        for v in &mut self.data {
-            *v *= s;
-        }
+        crate::kernels::scale(s, &mut self.data);
     }
 
     /// Frobenius norm.
@@ -318,9 +323,10 @@ impl Add for &Matrix {
 impl AddAssign<&Matrix> for Matrix {
     fn add_assign(&mut self, rhs: &Matrix) {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add_assign: shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
-            *a += b;
-        }
+        // `1.0 * b == b` exactly in IEEE, so axpy keeps the merge
+        // bit-identical to the old elementwise loop — the threaded
+        // assembly's serial-vs-parallel pin depends on that.
+        crate::kernels::axpy(1.0, &rhs.data, &mut self.data);
     }
 }
 

@@ -180,18 +180,21 @@ impl SparseMatrix {
         })
     }
 
-    /// `y = A x`.
+    /// `y = A x`, via the blocked CSR kernel ([`crate::kernels::spmv`]).
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "matvec: dimension mismatch (x.len()={}, cols={})",
+            x.len(),
+            self.cols
+        );
         let mut y = vec![0.0; self.rows];
-        for (i, yi) in y.iter_mut().enumerate() {
-            let (cols, vals) = self.row(i);
-            *yi = cols.iter().zip(vals).map(|(&j, &v)| v * x[j]).sum();
-        }
+        crate::kernels::spmv(&self.row_ptr, &self.col_idx, &self.values, x, &mut y);
         y
     }
 

@@ -5,7 +5,7 @@ use std::time::Instant;
 
 use bemcap_geom::{Geometry, Mesh, Point3, EPS0};
 use bemcap_linalg::{
-    gmres_grouped, DiagonalPrecond, KrylovConfig, KrylovStats, LinearOperator, Matrix,
+    gmres_grouped, kernels, DiagonalPrecond, KrylovConfig, KrylovStats, LinearOperator, Matrix,
     Preconditioner,
 };
 use bemcap_quad::galerkin::{GalerkinEngine, PanelShape};
@@ -247,23 +247,20 @@ impl LinearOperator for PfftOperator {
         fft3_inplace(&mut field, px, py, pz, true);
         let t2 = Instant::now();
         t.fft += (t2 - t1).as_secs_f64();
-        // Interpolate potentials and apply the Galerkin weights.
+        // Interpolate potentials and apply the Galerkin weights. The
+        // 8-point gather sums pairwise — four independent products per
+        // level, the same shape as the blocked kernels' reductions.
         for (i, st) in self.stencils.iter().enumerate() {
-            let mut phi = 0.0;
-            for &(flat, w) in st {
-                phi += w * field[flat].re;
-            }
+            let g = |s: usize| st[s].1 * field[st[s].0].re;
+            let phi = ((g(0) + g(1)) + (g(2) + g(3))) + ((g(4) + g(5)) + (g(6) + g(7)));
             y[i] = self.scale * self.areas[i] * phi;
         }
         let t3 = Instant::now();
         t.project += (t3 - t2).as_secs_f64();
-        // Precorrection.
+        // Precorrection: each near row is a gathered sparse dot through
+        // the chunked pair kernel.
         for (yi, row) in y.iter_mut().zip(&self.near) {
-            let mut acc = 0.0;
-            for &(j, v) in row {
-                acc += v * x[j as usize];
-            }
-            *yi += acc;
+            *yi += kernels::pair_dot(row, x);
         }
         t.precorrect += t3.elapsed().as_secs_f64();
         t.count += 1;
